@@ -1,0 +1,55 @@
+// Command ruidbench regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md): run it with no arguments for the full
+// suite, or name experiment ids to run a subset.
+//
+// Usage:
+//
+//	ruidbench [-list] [E1 E2 E3 ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ruidbench [-list] [experiment ids...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	tables := workload.All()
+	if *list {
+		for _, t := range tables {
+			fmt.Printf("%-4s %s\n", t.ID, t.Title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, arg := range flag.Args() {
+		want[strings.ToUpper(arg)] = true
+	}
+	ran := 0
+	for _, t := range tables {
+		id := strings.ToUpper(t.ID)
+		if len(want) > 0 && !want[id] && !want[strings.TrimRight(id, "ABCD")] {
+			continue
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ruidbench: %v\n", err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ruidbench: no experiment matches %v (try -list)\n", flag.Args())
+		os.Exit(2)
+	}
+}

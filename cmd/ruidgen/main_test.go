@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(p, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunRUID(t *testing.T) {
+	p := writeDoc(t, `<a x="1"><b>t</b><c/></a>`)
+	var out strings.Builder
+	if err := run(runConfig{scheme: "ruid", area: 8, showK: true, showStats: true}, p, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"scheme=ruid", "kappa=", "global\tlocal\tfan-out", "(1, 1, true)\ta\t/a[0]", "nodes=4"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunUIDAndPrepost(t *testing.T) {
+	p := writeDoc(t, `<a><b/><c/></a>`)
+	var out strings.Builder
+	if err := run(runConfig{scheme: "uid"}, p, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scheme=uid k=2") {
+		t.Errorf("uid output wrong:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(runConfig{scheme: "prepost"}, p, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scheme=prepost nodes=3") {
+		t.Errorf("prepost output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunWithAttrs(t *testing.T) {
+	p := writeDoc(t, `<a x="1"><b/></a>`)
+	var out strings.Builder
+	if err := run(runConfig{scheme: "ruid", area: 8, withAttrs: true}, p, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "@x") {
+		t.Errorf("attributes not numbered:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := writeDoc(t, `<a/>`)
+	var out strings.Builder
+	if err := run(runConfig{scheme: "bogus", area: 8}, p, &out); err == nil {
+		t.Errorf("unknown scheme accepted")
+	}
+	if err := run(runConfig{scheme: "uid", showK: true}, p, &out); err == nil {
+		t.Errorf("-k with uid accepted")
+	}
+	if err := run(runConfig{scheme: "ruid", area: 8}, filepath.Join(t.TempDir(), "missing.xml"), &out); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	bad := writeDoc(t, `<a>`)
+	if err := run(runConfig{scheme: "ruid", area: 8}, bad, &out); err == nil {
+		t.Errorf("malformed XML accepted")
+	}
+}
+
+func TestRunSaveLoad(t *testing.T) {
+	p := writeDoc(t, `<a><b><c/></b><d/></a>`)
+	snap := filepath.Join(t.TempDir(), "snap.ruid")
+	var out1 strings.Builder
+	if err := run(runConfig{scheme: "ruid", area: 2, savePath: snap}, p, &out1); err != nil {
+		t.Fatal(err)
+	}
+	var out2 strings.Builder
+	if err := run(runConfig{scheme: "ruid", loadPath: snap}, p, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("loaded output differs:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+	var out3 strings.Builder
+	if err := run(runConfig{scheme: "uid", savePath: snap}, p, &out3); err == nil {
+		t.Fatalf("-save with uid accepted")
+	}
+}
+
+func TestRunGuide(t *testing.T) {
+	p := writeDoc(t, `<a><b><c/></b><b><c/></b></a>`)
+	var out strings.Builder
+	if err := run(runConfig{scheme: "ruid", showGuide: true}, p, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "3 distinct label paths") || !strings.Contains(got, "b (2)") {
+		t.Fatalf("guide output: %s", got)
+	}
+}

@@ -1,0 +1,76 @@
+// Command xmlgen emits the synthetic XML corpora used by the experiments,
+// so they can be inspected, stored, or fed back through ruidgen and xq.
+//
+// Usage:
+//
+//	xmlgen -shape balanced  -fanout 3 -depth 4
+//	xmlgen -shape dblp      -n 100 -seed 7
+//	xmlgen -shape xmark     -scale 2 -seed 7
+//	xmlgen -shape random    -n 500 -fanout 6 -seed 1 -bias 0.4
+//	xmlgen -shape recursive -fanout 2 -depth 8
+//	xmlgen -shape skewed    -fanout 40 -depth 10
+//	xmlgen -shape linear    -depth 64
+//	xmlgen -shape shakespeare -n 3
+//
+// The document is written to standard output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/xmltree"
+)
+
+func main() {
+	shape := flag.String("shape", "balanced", "balanced|linear|skewed|recursive|random|dblp|xmark|shakespeare")
+	fanout := flag.Int("fanout", 3, "fan-out (balanced, recursive, skewed wide fan-out, random cap)")
+	depth := flag.Int("depth", 4, "depth (balanced, linear, skewed, recursive)")
+	n := flag.Int("n", 100, "size (random nodes, dblp articles, shakespeare acts)")
+	scale := flag.Int("scale", 1, "xmark scale factor")
+	seed := flag.Int64("seed", 1, "random seed")
+	bias := flag.Float64("bias", 0, "random: depth bias 0..1")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xmlgen [flags] > out.xml\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if err := generate(os.Stdout, *shape, *fanout, *depth, *n, *scale, *seed, *bias); err != nil {
+		fmt.Fprintf(os.Stderr, "xmlgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func generate(w io.Writer, shape string, fanout, depth, n, scale int, seed int64, bias float64) error {
+	var doc *xmltree.Node
+	switch shape {
+	case "balanced":
+		doc = xmltree.Balanced(fanout, depth)
+	case "linear":
+		doc = xmltree.Linear(depth)
+	case "skewed":
+		doc = xmltree.Skewed(fanout, 2, depth)
+	case "recursive":
+		doc = xmltree.Recursive(fanout, depth)
+	case "random":
+		doc = xmltree.Random(xmltree.RandomConfig{
+			Nodes: n, MaxFanout: fanout, DepthBias: bias, Seed: seed, TextLeaf: true,
+		})
+	case "dblp":
+		doc = xmltree.DBLP(n, seed)
+	case "xmark":
+		doc = xmltree.XMark(scale, seed)
+	case "shakespeare":
+		doc = xmltree.Shakespeare(n, 4, 6)
+	default:
+		return fmt.Errorf("unknown shape %q", shape)
+	}
+	if err := xmltree.WriteXML(w, doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

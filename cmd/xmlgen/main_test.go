@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	shapes := []string{
+		"balanced", "linear", "skewed", "recursive", "random",
+		"dblp", "xmark", "shakespeare",
+	}
+	for _, shape := range shapes {
+		var out strings.Builder
+		if err := generate(&out, shape, 3, 4, 20, 1, 7, 0.3); err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		doc, err := xmltree.ParseString(out.String())
+		if err != nil {
+			t.Fatalf("%s: output does not parse: %v", shape, err)
+		}
+		if xmltree.CountNodes(doc.DocumentElement()) < 2 {
+			t.Errorf("%s: suspiciously small document", shape)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := generate(&a, "random", 5, 0, 200, 1, 42, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := generate(&b, "random", 5, 0, 200, 1, 42, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different documents")
+	}
+}
+
+func TestGenerateUnknownShape(t *testing.T) {
+	var out strings.Builder
+	if err := generate(&out, "mystery", 3, 4, 20, 1, 7, 0); err == nil {
+		t.Fatalf("unknown shape accepted")
+	}
+}

@@ -1,0 +1,120 @@
+// Command xq evaluates an XPath location path over an XML document using
+// the ruid-driven axis engine (or, with -nav, the original-UID or pointer
+// engines for comparison).
+//
+// Usage:
+//
+//	xq [-nav ruid|uid|pointer] [-area N] [-serialize] 'xpath' [file.xml]
+//
+// With no file argument the document is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/uid"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func main() {
+	nav := flag.String("nav", "ruid", "navigator: ruid, uid, pointer or planner")
+	areaBudget := flag.Int("area", core.DefaultMaxAreaNodes, "ruid: max nodes per UID-local area")
+	serialize := flag.Bool("serialize", false, "print matched subtrees as XML instead of paths")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xq [flags] 'xpath' [file.xml]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*nav, *areaBudget, *serialize, flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "xq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(nav string, areaBudget int, serialize bool, query2, path string, out io.Writer) error {
+	var in io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := xmltree.Parse(in)
+	if err != nil {
+		return err
+	}
+
+	if nav == "planner" {
+		n, err := core.Build(doc, core.Options{
+			Partition: core.PartitionConfig{MaxAreaNodes: areaBudget, AdjustFanout: true},
+		})
+		if err != nil {
+			return err
+		}
+		pl := query.New(doc, n)
+		results, plan, err := pl.Run(query2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "plan: %s\n", plan.Explain())
+		return printResults(out, results, serialize)
+	}
+
+	var navigator xpath.Navigator
+	switch nav {
+	case "ruid":
+		n, err := core.Build(doc, core.Options{
+			Partition: core.PartitionConfig{MaxAreaNodes: areaBudget, AdjustFanout: true},
+		})
+		if err != nil {
+			return err
+		}
+		navigator = xpath.SchemeNavigator{S: n}
+	case "uid":
+		n, err := uid.Build(doc, uid.Options{})
+		if err != nil {
+			return err
+		}
+		navigator = xpath.SchemeNavigator{S: n}
+	case "pointer":
+		navigator = xpath.PointerNavigator{}
+	default:
+		return fmt.Errorf("unknown navigator %q", nav)
+	}
+
+	engine := xpath.NewEngine(doc, navigator)
+	results, err := engine.Query(query2)
+	if err != nil {
+		return err
+	}
+	return printResults(out, results, serialize)
+}
+
+func printResults(out io.Writer, results []*xmltree.Node, serialize bool) error {
+	for _, n := range results {
+		if serialize {
+			fmt.Fprintln(out, xmltree.Serialize(n))
+			continue
+		}
+		switch n.Kind {
+		case xmltree.Attribute, xmltree.Text:
+			fmt.Fprintf(out, "%s = %q\n", n.Path(), n.Data)
+		default:
+			fmt.Fprintln(out, n.Path())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d node(s)\n", len(results))
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(p, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const testDoc = `<lib><book id="b1"><title>One</title></book><book id="b2"><title>Two</title></book></lib>`
+
+func TestRunNavigators(t *testing.T) {
+	p := writeDoc(t, testDoc)
+	for _, nav := range []string{"ruid", "uid", "pointer"} {
+		var out strings.Builder
+		if err := run(nav, 8, false, "//book[2]/title", p, &out); err != nil {
+			t.Fatalf("%s: %v", nav, err)
+		}
+		if got := strings.TrimSpace(out.String()); got != "/lib[0]/book[1]/title[0]" {
+			t.Errorf("%s: output %q", nav, got)
+		}
+	}
+}
+
+func TestRunSerialize(t *testing.T) {
+	p := writeDoc(t, testDoc)
+	var out strings.Builder
+	if err := run("ruid", 8, true, "/lib/book[@id='b1']", p, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != `<book id="b1"><title>One</title></book>` {
+		t.Errorf("serialize output %q", got)
+	}
+}
+
+func TestRunAttributesAndText(t *testing.T) {
+	p := writeDoc(t, testDoc)
+	var out strings.Builder
+	if err := run("ruid", 8, false, "//book/@id", p, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `@id = "b1"`) {
+		t.Errorf("attribute output wrong: %s", out.String())
+	}
+	out.Reset()
+	if err := run("pointer", 8, false, "//title/text()", p, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"One"`) || !strings.Contains(out.String(), `"Two"`) {
+		t.Errorf("text output wrong: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := writeDoc(t, testDoc)
+	var out strings.Builder
+	if err := run("bogus", 8, false, "//a", p, &out); err == nil {
+		t.Errorf("unknown navigator accepted")
+	}
+	if err := run("ruid", 8, false, "//a[", p, &out); err == nil {
+		t.Errorf("bad query accepted")
+	}
+	if err := run("ruid", 8, false, "//a", filepath.Join(t.TempDir(), "nope.xml"), &out); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func TestRunPlanner(t *testing.T) {
+	p := writeDoc(t, testDoc)
+	var out strings.Builder
+	if err := run("planner", 8, false, "/lib/book/title", p, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(out.String())
+	if !strings.Contains(got, "/lib[0]/book[0]/title[0]") ||
+		!strings.Contains(got, "/lib[0]/book[1]/title[0]") {
+		t.Fatalf("planner output: %q", got)
+	}
+}

@@ -1,0 +1,92 @@
+// Quickstart: parse a document, build its 2-level ruid, inspect the
+// identifiers and the global parameter table K, and navigate the tree by
+// identifier arithmetic alone — the core workflow of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+const src = `<library>
+  <book id="b1">
+    <title>A Structural Numbering Scheme for XML Data</title>
+    <author>Kha</author><author>Yoshikawa</author><author>Uemura</author>
+  </book>
+  <book id="b2">
+    <title>Index Structures for Structured Documents</title>
+    <author>Lee</author>
+  </book>
+</library>`
+
+func main() {
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the 2-level ruid. The partition budget bounds how many nodes
+	// one UID-local area enumerates; AdjustFanout applies the §2.3 trick.
+	n, err := core.Build(doc, core.Options{
+		Partition: core.PartitionConfig{MaxAreaNodes: 4, AdjustFanout: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("kappa = %d, %d UID-local areas, %d numbered nodes\n\n",
+		n.Kappa(), n.AreaCount(), n.Size())
+
+	fmt.Println("identifiers (global, local, root):")
+	doc.DocumentElement().Walk(func(x *xmltree.Node) bool {
+		id, _ := n.RUID(x)
+		label := x.Name
+		if x.Kind == xmltree.Text {
+			label = fmt.Sprintf("%q", truncate(x.Data, 24))
+		}
+		fmt.Printf("  %-14s %s\n", id, label)
+		return true
+	})
+
+	fmt.Println("\nglobal parameter table K (global, local, fan-out):")
+	for _, row := range n.K() {
+		fmt.Printf("  %s\n", row)
+	}
+
+	// Navigate upward by pure identifier arithmetic: pick the deepest text
+	// node and climb to the root with rparent() — no tree access at all.
+	var deepest *xmltree.Node
+	doc.DocumentElement().Walk(func(x *xmltree.Node) bool {
+		if deepest == nil || x.Depth() > deepest.Depth() {
+			deepest = x
+		}
+		return true
+	})
+	id, _ := n.RUID(deepest)
+	fmt.Printf("\nancestor chain of %s by rparent() alone:\n", id)
+	for {
+		fmt.Printf("  %s", id)
+		if node, ok := n.NodeOfID(id); ok {
+			fmt.Printf("  <- %s", node.Name)
+		}
+		fmt.Println()
+		p, ok, err := n.RParent(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		id = p
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"repro/internal/scheme"
+)
+
+// XPath axis generation (§3.5 of the paper). Each routine derives candidate
+// identifier ranges arithmetically from κ and the table K, then intersects
+// them with the existing identifiers via a range scan of the (global,
+// local) clustered index; the root-indicator of each candidate is decided
+// exactly as the paper describes, by looking the candidate's local slot up
+// among the frame children of the context area.
+
+// childContext returns the area in which id's children are enumerated and
+// id's local index inside that area: an area root's children live in its
+// own area where it has local index 1; an interior node's children share
+// its area and its local index.
+func (n *Numbering) childContext(id ID) (g, l int64) {
+	if id.Root {
+		return id.Global, 1
+	}
+	return id.Global, id.Local
+}
+
+// siblingContext returns the area in which id itself was enumerated and its
+// local index there: the upper area for an area root, its own area
+// otherwise.
+func (n *Numbering) siblingContext(id ID) (g, l int64, ok bool) {
+	if id == RootID {
+		return 0, 0, false
+	}
+	if id.Root {
+		return (id.Global-2)/n.kappa + 1, id.Local, true
+	}
+	return id.Global, id.Local, true
+}
+
+// resolveLocal turns an existing local slot of area a into a full
+// identifier: if the slot holds the root of a lower area (found among the
+// frame children of a, as in the paper's rchildren routine), the identifier
+// is (childGlobal, slot, true); otherwise (a.global, slot, false).
+func (a *area) resolveLocal(slot int64) ID {
+	if cg, ok := a.rootByLocal[slot]; ok {
+		return ID{Global: cg, Local: slot, Root: true}
+	}
+	if slot == 1 {
+		// The area's own root occupies slot 1; its identifier carries its
+		// index in the upper area.
+		if a.global == 1 {
+			return RootID
+		}
+		return ID{Global: a.global, Local: a.rootLocal, Root: true}
+	}
+	return ID{Global: a.global, Local: slot, Root: false}
+}
+
+// Ancestors implements scheme.AxisScheme (rancestor of §3.5): a repetition
+// of RParent, nearest ancestor first.
+func (n *Numbering) Ancestors(id scheme.ID) []scheme.ID {
+	var out []scheme.ID
+	cur := id.(ID)
+	for {
+		p, ok, err := n.RParent(cur)
+		if err != nil || !ok {
+			return out
+		}
+		out = append(out, p)
+		cur = p
+	}
+}
+
+// Children implements scheme.AxisScheme (rchildren of §3.5).
+func (n *Numbering) Children(id scheme.ID) []scheme.ID {
+	g, l := n.childContext(id.(ID))
+	a, ok := n.areas[g]
+	if !ok {
+		return nil
+	}
+	lo := (l-1)*a.fanout + 2
+	hi := l*a.fanout + 1
+	slots := a.localsInRange(lo, hi)
+	out := make([]scheme.ID, 0, len(slots))
+	for _, s := range slots {
+		out = append(out, a.resolveLocal(s))
+	}
+	return out
+}
+
+// Descendants implements scheme.AxisScheme (rdescendant of §3.5) as a
+// preorder repetition of Children; crossing into a lower area happens
+// automatically when a child resolves to an area root.
+func (n *Numbering) Descendants(id scheme.ID) []scheme.ID {
+	var out []scheme.ID
+	var walk func(cur ID)
+	walk = func(cur ID) {
+		for _, c := range n.Children(cur) {
+			out = append(out, c)
+			walk(c.(ID))
+		}
+	}
+	walk(id.(ID))
+	return out
+}
+
+// FollowingSiblings implements scheme.AxisScheme (rfsibling of §3.5).
+func (n *Numbering) FollowingSiblings(id scheme.ID) []scheme.ID {
+	g, l, ok := n.siblingContext(id.(ID))
+	if !ok {
+		return nil
+	}
+	a := n.areas[g]
+	p := (l-2)/a.fanout + 1
+	hi := p*a.fanout + 1
+	slots := a.localsInRange(l+1, hi)
+	out := make([]scheme.ID, 0, len(slots))
+	for _, s := range slots {
+		out = append(out, a.resolveLocal(s))
+	}
+	return out
+}
+
+// PrecedingSiblings implements scheme.AxisScheme (rpsibling of §3.5),
+// nearest sibling first per the XPath reverse-axis convention.
+func (n *Numbering) PrecedingSiblings(id scheme.ID) []scheme.ID {
+	g, l, ok := n.siblingContext(id.(ID))
+	if !ok {
+		return nil
+	}
+	a := n.areas[g]
+	p := (l-2)/a.fanout + 1
+	lo := (p-1)*a.fanout + 2
+	slots := a.localsInRange(lo, l-1)
+	out := make([]scheme.ID, 0, len(slots))
+	for i := len(slots) - 1; i >= 0; i-- {
+		out = append(out, a.resolveLocal(slots[i]))
+	}
+	return out
+}
+
+// Following implements scheme.AxisScheme (rfollowing of §3.5): for each
+// ancestor-or-self, its following siblings and their whole subtrees, in
+// document order. By Lemma 3 this touches only the node's own area and its
+// frame ancestors before expanding whole following areas.
+func (n *Numbering) Following(id scheme.ID) []scheme.ID {
+	var out []scheme.ID
+	cur := id.(ID)
+	for {
+		for _, s := range n.FollowingSiblings(cur) {
+			out = append(out, s)
+			out = append(out, n.Descendants(s)...)
+		}
+		p, ok, err := n.RParent(cur)
+		if err != nil || !ok {
+			return out
+		}
+		cur = p
+	}
+}
+
+// Preceding implements scheme.AxisScheme (rpreceding of §3.5), in document
+// order: walking the ancestor chain from the root down, each
+// ancestor-or-self's preceding siblings and their subtrees.
+func (n *Numbering) Preceding(id scheme.ID) []scheme.ID {
+	chain := []ID{id.(ID)}
+	for {
+		p, ok, err := n.RParent(chain[len(chain)-1])
+		if err != nil || !ok {
+			break
+		}
+		chain = append(chain, p)
+	}
+	var out []scheme.ID
+	for i := len(chain) - 1; i >= 0; i-- {
+		sibs := n.PrecedingSiblings(chain[i]) // nearest first
+		for j := len(sibs) - 1; j >= 0; j-- { // document order
+			out = append(out, sibs[j])
+			out = append(out, n.Descendants(sibs[j])...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// ErrOverflow reports that an index computation exceeded int64. Local-level
+// overflows during Build are healed automatically by promoting the
+// offending node to an area root; a global-level overflow signals that the
+// frame itself should be split with a multilevel ruid.
+var ErrOverflow = errors.New("core: index exceeds int64")
+
+// overflowError wraps ErrOverflow with the node whose child index no longer
+// fits, so Build can split the area there.
+type overflowError struct {
+	area int64
+	node *xmltree.Node
+}
+
+func (e *overflowError) Error() string {
+	return fmt.Sprintf("core: index exceeds int64: local index in area %d", e.area)
+}
+
+func (e *overflowError) Unwrap() error { return ErrOverflow }
+
+// errorsAs is errors.As, aliased to keep the Build loop readable.
+func errorsAs(err error, target **overflowError) bool { return errors.As(err, target) }
+
+// Options configure Build.
+type Options struct {
+	// Partition controls automatic area-root selection; ignored when Roots
+	// is set.
+	Partition PartitionConfig
+	// Roots, when non-nil, fixes the set of area roots explicitly (the
+	// document root is added implicitly). Used by golden tests that pin the
+	// paper's example partition, and by callers with domain knowledge.
+	Roots map[*xmltree.Node]bool
+	// WithAttrs enumerates attribute nodes as leading children of their
+	// element so that every component of the document is numbered (§4).
+	WithAttrs bool
+}
+
+// area is the bookkeeping for one UID-local area.
+type area struct {
+	global       int64         // global index (frame UID)
+	root         *xmltree.Node // area root
+	rootLocal    int64         // index of root in the upper area (1 for the document root)
+	fanout       int64         // local enumeration fan-out kᵢ
+	parentGlobal int64         // global index of the upper area (0 for the root area)
+
+	// rootByLocal maps a local slot of this area to the global index of
+	// the lower area rooted there (the boundary leaves). It is the
+	// materialization of the paper's "search K for a row whose global
+	// index is a frame child of θ and whose local index is i".
+	rootByLocal map[int64]int64
+
+	// locals maps local index -> node for every node enumerated in this
+	// area, including boundary leaves that are roots of lower areas (their
+	// stored ID differs, but they occupy a local slot here). It models the
+	// clustered (global, local) index of the stored document.
+	locals map[int64]*xmltree.Node
+
+	sortedLocals []int64 // keys of locals in increasing order
+	sortedDirty  bool
+}
+
+func (a *area) ensureSorted() {
+	if !a.sortedDirty {
+		return
+	}
+	a.sortedLocals = a.sortedLocals[:0]
+	for l := range a.locals {
+		a.sortedLocals = append(a.sortedLocals, l)
+	}
+	sort.Slice(a.sortedLocals, func(i, j int) bool { return a.sortedLocals[i] < a.sortedLocals[j] })
+	a.sortedDirty = false
+}
+
+// localsInRange returns the existing local indices in [lo, hi], ascending.
+func (a *area) localsInRange(lo, hi int64) []int64 {
+	a.ensureSorted()
+	start := sort.Search(len(a.sortedLocals), func(i int) bool { return a.sortedLocals[i] >= lo })
+	var out []int64
+	for i := start; i < len(a.sortedLocals) && a.sortedLocals[i] <= hi; i++ {
+		out = append(out, a.sortedLocals[i])
+	}
+	return out
+}
+
+// Numbering is a 2-level ruid numbering of one document snapshot.
+// It implements scheme.AxisScheme and scheme.Updatable.
+type Numbering struct {
+	doc  *xmltree.Node
+	root *xmltree.Node
+	opts Options
+
+	kappa      int64 // frame fan-out κ
+	localLimit int64 // largest admissible local index (see MaxLocalBits)
+
+	areas map[int64]*area // by global index; the in-memory table K
+	ids   map[*xmltree.Node]ID
+	nodes map[ID]*xmltree.Node
+
+	areaRoots map[*xmltree.Node]bool // current set S
+}
+
+// Build constructs the 2-level ruid for doc following the algorithm of
+// Fig. 3: partition into UID-local areas, enumerate the frame with a κ-ary
+// UID for the global indices, enumerate each area with its own kᵢ-ary UID
+// for the local indices, and record κ and the table K.
+func Build(doc *xmltree.Node, opts Options) (*Numbering, error) {
+	root := doc
+	if doc.Kind == xmltree.Document {
+		root = doc.DocumentElement()
+		if root == nil {
+			return nil, errors.New("core: document has no root element")
+		}
+	}
+	n := &Numbering{doc: doc, root: root, opts: opts}
+	bits := opts.Partition.MaxLocalBits
+	if bits <= 0 {
+		bits = DefaultMaxLocalBits
+	}
+	if bits > 62 {
+		bits = 62
+	}
+	n.localLimit = int64(1) << bits
+
+	// Step 1 of Fig. 3: partition into UID-local areas; build the frame.
+	if opts.Roots != nil {
+		n.areaRoots = make(map[*xmltree.Node]bool, len(opts.Roots)+1)
+		for r, ok := range opts.Roots {
+			if ok {
+				n.areaRoots[r] = true
+			}
+		}
+		n.areaRoots[root] = true
+	} else {
+		n.areaRoots = SelectAreaRoots(root, opts.Partition, opts.WithAttrs)
+	}
+	// A node-count budget alone does not bound local identifier magnitude:
+	// an area mixing a wide node with a deep path can push a kᵢ-ary local
+	// index past int64. When that happens, promote the node where the
+	// overflow occurred to an area root (shrinking the area) and retry;
+	// each promotion strictly reduces the offending area, so this
+	// terminates.
+	for {
+		err := n.renumberAll()
+		if err == nil {
+			return n, nil
+		}
+		var ov *overflowError
+		if !errorsAs(err, &ov) || ov.node == nil || n.areaRoots[ov.node] {
+			return nil, err
+		}
+		n.areaRoots[ov.node] = true
+		// Promotions add frame children; keep the §2.3 guarantee holding.
+		if opts.Roots == nil && opts.Partition.AdjustFanout {
+			adjustFanout(root, n.areaRoots, opts.WithAttrs)
+		}
+	}
+}
+
+// renumberAll recomputes the full numbering from the current tree and area
+// root set (steps 2–4 of Fig. 3).
+func (n *Numbering) renumberAll() error {
+	frameKids := frameChildren(n.root, n.areaRoots)
+
+	// Step 2: κ is the maximal fan-out of the frame.
+	n.kappa = 1
+	for _, kids := range frameKids {
+		if int64(len(kids)) > n.kappa {
+			n.kappa = int64(len(kids))
+		}
+	}
+
+	n.areas = make(map[int64]*area)
+	n.ids = make(map[*xmltree.Node]ID, len(n.ids))
+	n.nodes = make(map[ID]*xmltree.Node, len(n.nodes))
+
+	// Step 3: enumerate the frame with a κ-ary UID (global indices), then
+	// each area with its own local UID. enumerateArea fills in rootLocal
+	// lazily: an area root's local index in the upper area is known once
+	// the upper area is enumerated, so areas are processed top-down.
+	type job struct {
+		root         *xmltree.Node
+		global       int64
+		parentGlobal int64
+	}
+	queue := []job{{n.root, 1, 0}}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		a := &area{
+			global:       j.global,
+			root:         j.root,
+			parentGlobal: j.parentGlobal,
+			locals:       make(map[int64]*xmltree.Node),
+			rootByLocal:  make(map[int64]int64),
+			sortedDirty:  true,
+		}
+		n.areas[j.global] = a
+		if err := n.enumerateArea(a); err != nil {
+			return err
+		}
+		for idx, kid := range frameKids[j.root] {
+			cg, ok := childIndex(j.global, n.kappa, idx)
+			if !ok {
+				return fmt.Errorf("%w: frame child of area %d", ErrOverflow, j.global)
+			}
+			queue = append(queue, job{kid, cg, j.global})
+		}
+	}
+
+	// Step 4: compose identifiers. Interior nodes got theirs during area
+	// enumeration; area roots get (own global, index in upper area, true).
+	rootArea := n.areas[1]
+	rootArea.rootLocal = 1
+	n.setID(n.root, RootID)
+	for g, a := range n.areas {
+		if g == 1 {
+			continue
+		}
+		upper := n.areas[a.parentGlobal]
+		l, ok := upper.localOf(a.root)
+		if !ok {
+			return fmt.Errorf("core: area %d root %s not enumerated in upper area %d",
+				g, a.root.Path(), a.parentGlobal)
+		}
+		a.rootLocal = l
+		upper.rootByLocal[l] = g
+		n.setID(a.root, ID{Global: g, Local: l, Root: true})
+	}
+	return nil
+}
+
+// localOf returns the local index a node occupies inside area a.
+func (a *area) localOf(node *xmltree.Node) (int64, bool) {
+	// locals is index->node; invert by scanning is O(area); keep a lookup
+	// through the enumeration below instead.
+	for l, x := range a.locals {
+		if x == node {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// enumerateArea performs steps 5–6 of Fig. 3 for one area: find the local
+// maximal fan-out kᵢ and assign local indices via a kᵢ-ary tree. Interior
+// (non-area-root) nodes receive their final identifiers here; boundary
+// leaves (roots of lower areas) only occupy a local slot.
+func (n *Numbering) enumerateArea(a *area) error {
+	// Determine the local fan-out: the maximal structural fan-out over the
+	// area's interior nodes (boundary leaves contribute no children here).
+	a.fanout = 1
+	var scan func(x *xmltree.Node)
+	scan = func(x *xmltree.Node) {
+		if x != a.root && n.areaRoots[x] {
+			return
+		}
+		kids := x.StructuralChildren(n.opts.WithAttrs)
+		if int64(len(kids)) > a.fanout {
+			a.fanout = int64(len(kids))
+		}
+		for _, c := range kids {
+			scan(c)
+		}
+	}
+	scan(a.root)
+
+	// Assign local indices.
+	var assign func(x *xmltree.Node, local int64) error
+	assign = func(x *xmltree.Node, local int64) error {
+		a.locals[local] = x
+		if x != a.root && n.areaRoots[x] {
+			return nil // boundary leaf: a lower area continues below
+		}
+		if x != a.root || a.global == 1 {
+			// Interior node: final identifier. (The document root is both
+			// the root of area 1 and an interior case; its ID is fixed to
+			// RootID by the caller.)
+			if x != n.root {
+				n.setID(x, ID{Global: a.global, Local: local, Root: false})
+			}
+		}
+		for j, c := range x.StructuralChildren(n.opts.WithAttrs) {
+			cl, ok := childIndex(local, a.fanout, j)
+			if !ok || cl > n.localLimit {
+				return &overflowError{area: a.global, node: x}
+			}
+			if err := assign(c, cl); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	a.sortedDirty = true
+	return assign(a.root, 1)
+}
+
+// childIndex computes (i−1)·k + 2 + j with overflow detection.
+func childIndex(i, k int64, j int) (int64, bool) {
+	base := i - 1
+	if base != 0 && base > (math.MaxInt64-int64(2+j))/k {
+		return 0, false
+	}
+	return base*k + 2 + int64(j), true
+}
+
+func (n *Numbering) setID(node *xmltree.Node, id ID) {
+	// During relabeling, the node's old identifier may already have been
+	// claimed by another node; only remove the reverse entry if it still
+	// points here.
+	if old, ok := n.ids[node]; ok && n.nodes[old] == node {
+		delete(n.nodes, old)
+	}
+	n.ids[node] = id
+	n.nodes[id] = node
+}
+
+// Kappa returns the frame fan-out κ.
+func (n *Numbering) Kappa() int64 { return n.kappa }
+
+// K returns the global parameter table, sorted by global index (Fig. 5).
+func (n *Numbering) K() []KRow {
+	rows := make([]KRow, 0, len(n.areas))
+	for _, a := range n.areas {
+		rows = append(rows, KRow{Global: a.global, RootLocal: a.rootLocal, Fanout: a.fanout})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Global < rows[j].Global })
+	return rows
+}
+
+// AreaCount returns the number of UID-local areas.
+func (n *Numbering) AreaCount() int { return len(n.areas) }
+
+// Size returns the number of numbered nodes.
+func (n *Numbering) Size() int { return len(n.ids) }
+
+// Root returns the numbered root element.
+func (n *Numbering) Root() *xmltree.Node { return n.root }
+
+// MaxLocalIndex returns the largest local index in use in any area — the
+// identifier-magnitude metric of experiment E3 (each ruid component stays
+// small because areas are small).
+func (n *Numbering) MaxLocalIndex() int64 {
+	var max int64
+	for _, a := range n.areas {
+		a.ensureSorted()
+		if len(a.sortedLocals) > 0 {
+			if v := a.sortedLocals[len(a.sortedLocals)-1]; v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// MaxGlobalIndex returns the largest global index in use.
+func (n *Numbering) MaxGlobalIndex() int64 {
+	var max int64
+	for g := range n.areas {
+		if g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// Name implements scheme.Scheme.
+func (n *Numbering) Name() string { return "ruid" }
+
+// IDOf implements scheme.Scheme.
+func (n *Numbering) IDOf(node *xmltree.Node) (scheme.ID, bool) {
+	id, ok := n.ids[node]
+	if !ok {
+		return nil, false
+	}
+	return id, true
+}
+
+// RUID returns the concrete identifier of a node, and false if the node is
+// not numbered.
+func (n *Numbering) RUID(node *xmltree.Node) (ID, bool) {
+	id, ok := n.ids[node]
+	return id, ok
+}
+
+// NodeOf implements scheme.Scheme.
+func (n *Numbering) NodeOf(id scheme.ID) (*xmltree.Node, bool) {
+	node, ok := n.nodes[id.(ID)]
+	return node, ok
+}
+
+// NodeOfID resolves a concrete identifier.
+func (n *Numbering) NodeOfID(id ID) (*xmltree.Node, bool) {
+	node, ok := n.nodes[id]
+	return node, ok
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// buildML builds a multilevel ruid with tiny budgets so that several levels
+// appear even on modest documents.
+func buildML(t *testing.T, doc *xmltree.Node) *Multilevel {
+	t.Helper()
+	ml, err := BuildMultilevel(doc, MLOptions{
+		Base:           Options{Partition: PartitionConfig{MaxAreaNodes: 4}},
+		FramePartition: PartitionConfig{MaxAreaNodes: 4},
+		MaxTopAreas:    4,
+	})
+	if err != nil {
+		t.Fatalf("BuildMultilevel: %v", err)
+	}
+	return ml
+}
+
+// TestMultilevelPaperExample3 verifies the decomposition law of Example 3:
+// for a node whose 2-level identifier is {g, (α, β)}, the multilevel
+// identifier keeps (α, β) as its last component and replaces g with g's own
+// 2-level identifier in the frame numbering, recursively; composing the
+// result returns the original identifier.
+func TestMultilevelPaperExample3(t *testing.T) {
+	doc := xmltree.Balanced(3, 5)
+	ml := buildML(t, doc)
+	if ml.NumLevels() < 3 {
+		t.Fatalf("expected at least 3 levels, got %d", ml.NumLevels())
+	}
+	for _, node := range doc.DocumentElement().Nodes() {
+		flat, ok := ml.Base().RUID(node)
+		if !ok {
+			t.Fatalf("node %s not numbered", node.Path())
+		}
+		mid := ml.Decompose(flat)
+		// The last component is exactly the 2-level (α, β) = (Local, Root).
+		last := mid.Comps[len(mid.Comps)-1]
+		if last.Alpha != flat.Local || last.Root != flat.Root {
+			t.Fatalf("node %s: last component %v, want (%d, %v)",
+				node.Path(), last, flat.Local, flat.Root)
+		}
+		// Composing is the inverse of decomposing.
+		back, err := ml.Compose(mid)
+		if err != nil {
+			t.Fatalf("Compose(%v): %v", mid, err)
+		}
+		if back != flat {
+			t.Fatalf("node %s: compose(decompose) = %v, want %v", node.Path(), back, flat)
+		}
+	}
+}
+
+// TestMultilevelUnique checks identifier uniqueness at the multilevel form.
+func TestMultilevelUnique(t *testing.T) {
+	doc := xmltree.Random(xmltree.RandomConfig{Nodes: 400, MaxFanout: 6, Seed: 11})
+	ml := buildML(t, doc)
+	seen := map[string]*xmltree.Node{}
+	for _, node := range doc.DocumentElement().Nodes() {
+		mid, ok := ml.IDOf(node)
+		if !ok {
+			t.Fatalf("node %s not numbered", node.Path())
+		}
+		key := string(mid.Key())
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("identifier %v assigned to both %s and %s", mid, prev.Path(), node.Path())
+		}
+		seen[key] = node
+		if got, ok := ml.NodeOf(mid); !ok || got != node {
+			t.Fatalf("NodeOf(%v) = %v, want %s", mid, got, node.Path())
+		}
+	}
+}
+
+// TestMultilevelParent checks the multilevel parent computation against
+// tree ground truth.
+func TestMultilevelParent(t *testing.T) {
+	doc := xmltree.Recursive(2, 6)
+	ml := buildML(t, doc)
+	for _, node := range doc.DocumentElement().Nodes() {
+		mid, _ := ml.IDOf(node)
+		p, ok, err := ml.Parent(mid)
+		if err != nil {
+			t.Fatalf("Parent(%v): %v", mid, err)
+		}
+		if node.Parent.Kind == xmltree.Document {
+			if ok {
+				t.Fatalf("root %s has parent %v", node.Path(), p)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("node %s: no parent", node.Path())
+		}
+		got, found := ml.NodeOf(p)
+		if !found || got != node.Parent {
+			t.Fatalf("node %s: parent resolves to %v, want %s",
+				node.Path(), got, node.Parent.Path())
+		}
+	}
+}
+
+// TestMultilevelLevelsGrow checks that deeper/larger documents need more
+// levels under a fixed tiny budget, and that the top level is always small.
+func TestMultilevelLevelsGrow(t *testing.T) {
+	small := buildML(t, xmltree.Balanced(2, 3))
+	large := buildML(t, xmltree.Balanced(3, 7))
+	if small.NumLevels() > large.NumLevels() {
+		t.Errorf("levels(small) = %d > levels(large) = %d",
+			small.NumLevels(), large.NumLevels())
+	}
+	if large.TopAreaCount() > 4 {
+		t.Errorf("top area count = %d, want <= 4", large.TopAreaCount())
+	}
+	bits, levels := large.Capacity()
+	if bits != 63 || levels != large.NumLevels()-1 {
+		t.Errorf("Capacity() = (%d, %d)", bits, levels)
+	}
+}
+
+// TestMultilevelOrderAndAncestor checks the multilevel-level structural
+// predicates against ground truth.
+func TestMultilevelOrderAndAncestor(t *testing.T) {
+	doc := xmltree.Random(xmltree.RandomConfig{Nodes: 250, MaxFanout: 5, Seed: 21})
+	ml := buildML(t, doc)
+	nodes := doc.DocumentElement().Nodes()
+	for i := 0; i < len(nodes); i += 5 {
+		for j := 0; j < len(nodes); j += 5 {
+			a, b := nodes[i], nodes[j]
+			ida, _ := ml.IDOf(a)
+			idb, _ := ml.IDOf(b)
+			if got, want := ml.IsAncestor(ida, idb), xmltree.IsAncestor(a, b); got != want {
+				t.Fatalf("IsAncestor(%s, %s) = %v, want %v", ida, idb, got, want)
+			}
+			if got, want := ml.CompareOrder(ida, idb), xmltree.CompareOrder(a, b); got != want {
+				t.Fatalf("CompareOrder(%s, %s) = %d, want %d", ida, idb, got, want)
+			}
+		}
+	}
+}

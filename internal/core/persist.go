@@ -1,0 +1,240 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/xmltree"
+)
+
+// Persistence — the "Save κ and K" step the Fig. 3 algorithm ends with.
+// Save writes the global parameters (κ, the table K, the partition limits)
+// and every node's identifier in document-walk order; Load reattaches them
+// to an identically shaped document (typically re-parsed from the same
+// XML), rebuilding all derived state (areas, local slot indexes, the
+// reverse map) without re-running the partitioning or enumeration.
+
+// saveMagic identifies the serialization format.
+var saveMagic = [8]byte{'r', 'u', 'i', 'd', 'v', '0', '0', '1'}
+
+// ErrBadSnapshot reports a malformed or mismatched serialized numbering.
+var ErrBadSnapshot = errors.New("core: bad numbering snapshot")
+
+// Save serializes the numbering: header (κ, local limit, flags), the table
+// K, and the identifiers of all numbered nodes in WalkFull document order.
+func (n *Numbering) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(saveMagic[:]); err != nil {
+		return err
+	}
+	var u64 [8]byte
+	writeU64 := func(v uint64) error {
+		binary.BigEndian.PutUint64(u64[:], v)
+		_, err := bw.Write(u64[:])
+		return err
+	}
+	flags := uint64(0)
+	if n.opts.WithAttrs {
+		flags |= 1
+	}
+	rows := n.K()
+	for _, v := range []uint64{uint64(n.kappa), uint64(n.localLimit), flags, uint64(len(rows))} {
+		if err := writeU64(v); err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		for _, v := range []uint64{uint64(row.Global), uint64(row.RootLocal), uint64(row.Fanout)} {
+			if err := writeU64(v); err != nil {
+				return err
+			}
+		}
+	}
+	// Identifiers in deterministic document order; count first.
+	count := 0
+	n.root.WalkFull(func(x *xmltree.Node) bool {
+		if _, ok := n.ids[x]; ok {
+			count++
+		}
+		return true
+	})
+	if err := writeU64(uint64(count)); err != nil {
+		return err
+	}
+	var werr error
+	n.root.WalkFull(func(x *xmltree.Node) bool {
+		id, ok := n.ids[x]
+		if !ok {
+			return true
+		}
+		if _, err := bw.Write(id.Key()); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// Load reads a numbering saved by Save and attaches it to doc, which must
+// have exactly the shape of the document the numbering was built on. No
+// partitioning or enumeration runs: the areas, slot indexes and reverse
+// maps are reconstructed from the identifiers and the table K.
+func Load(doc *xmltree.Node, r io.Reader) (*Numbering, error) {
+	root := doc
+	if doc.Kind == xmltree.Document {
+		root = doc.DocumentElement()
+		if root == nil {
+			return nil, errors.New("core: document has no root element")
+		}
+	}
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != saveMagic {
+		return nil, fmt.Errorf("%w: wrong magic", ErrBadSnapshot)
+	}
+	var u64 [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		return binary.BigEndian.Uint64(u64[:]), nil
+	}
+	kappa, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	limit, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	nRows, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	n := &Numbering{
+		doc:        doc,
+		root:       root,
+		opts:       Options{WithAttrs: flags&1 != 0},
+		kappa:      int64(kappa),
+		localLimit: int64(limit),
+		areas:      make(map[int64]*area, nRows),
+		ids:        make(map[*xmltree.Node]ID),
+		nodes:      make(map[ID]*xmltree.Node),
+		areaRoots:  make(map[*xmltree.Node]bool),
+	}
+	if n.kappa < 1 || n.localLimit < 1 || nRows == 0 || nRows > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible header", ErrBadSnapshot)
+	}
+	for i := uint64(0); i < nRows; i++ {
+		g, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		rl, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		fo, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		a := &area{
+			global:      int64(g),
+			rootLocal:   int64(rl),
+			fanout:      int64(fo),
+			locals:      make(map[int64]*xmltree.Node),
+			rootByLocal: make(map[int64]int64),
+			sortedDirty: true,
+		}
+		if a.global != 1 {
+			a.parentGlobal = (a.global-2)/n.kappa + 1
+		}
+		if a.fanout < 1 {
+			return nil, fmt.Errorf("%w: area %d fan-out %d", ErrBadSnapshot, g, fo)
+		}
+		n.areas[a.global] = a
+	}
+	count, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	// Reattach identifiers in the same walk order Save used.
+	var nodesInOrder []*xmltree.Node
+	root.WalkFull(func(x *xmltree.Node) bool {
+		if x.Kind == xmltree.Attribute && !n.opts.WithAttrs {
+			return true
+		}
+		nodesInOrder = append(nodesInOrder, x)
+		return true
+	})
+	if uint64(len(nodesInOrder)) != count {
+		return nil, fmt.Errorf("%w: snapshot has %d identifiers, document has %d nodes",
+			ErrBadSnapshot, count, len(nodesInOrder))
+	}
+	var key [17]byte
+	for _, x := range nodesInOrder {
+		if _, err := io.ReadFull(br, key[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		id, ok := DecodeKey(key[:])
+		if !ok {
+			return nil, fmt.Errorf("%w: undecodable identifier", ErrBadSnapshot)
+		}
+		if err := n.attach(x, id); err != nil {
+			return nil, err
+		}
+	}
+	// Sanity: every area has its root.
+	for g, a := range n.areas {
+		if a.root == nil {
+			return nil, fmt.Errorf("%w: area %d has no root node", ErrBadSnapshot, g)
+		}
+	}
+	return n, nil
+}
+
+// attach registers one (node, id) pair and rebuilds the derived area state.
+func (n *Numbering) attach(x *xmltree.Node, id ID) error {
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("%w: duplicate identifier %v", ErrBadSnapshot, id)
+	}
+	n.ids[x] = id
+	n.nodes[id] = x
+	a, ok := n.areas[id.Global]
+	if !ok {
+		return fmt.Errorf("%w: identifier %v references unknown area", ErrBadSnapshot, id)
+	}
+	if id.Root {
+		n.areaRoots[x] = true
+		a.root = x
+		a.locals[1] = x
+		if id.Global != 1 {
+			upper, ok := n.areas[a.parentGlobal]
+			if !ok {
+				return fmt.Errorf("%w: area %d has no parent area %d",
+					ErrBadSnapshot, id.Global, a.parentGlobal)
+			}
+			upper.locals[id.Local] = x
+			upper.rootByLocal[id.Local] = id.Global
+			upper.sortedDirty = true
+		}
+		return nil
+	}
+	a.locals[id.Local] = x
+	a.sortedDirty = true
+	return nil
+}

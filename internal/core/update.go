@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// Structural update (§3.2 of the paper). The ruid confines the scope of
+// identifier changes to the single UID-local area where the update occurs:
+//
+//   - if the area has space, only the right siblings of the update point
+//     and their *within-area* descendants are relabeled; descendant areas
+//     keep their interiors untouched because the frame is unchanged (their
+//     roots may get a new local slot in this area, which changes one K row
+//     and one identifier per such root, not their contents);
+//   - if the update overflows the area's local fan-out kᵢ, only that area
+//     is re-enumerated with a larger kᵢ, instead of the whole document as
+//     with the original UID.
+//
+// Both effects are reproduced literally here: every update re-derives the
+// affected area's enumeration and reports exactly how many pre-existing
+// identifiers changed.
+
+// InsertChild implements scheme.Updatable: newChild (possibly a whole
+// subtree) becomes the pos-th child of parent. The subtree joins parent's
+// UID-local area; use Repartition to re-balance areas after bulk insertion.
+func (n *Numbering) InsertChild(parent *xmltree.Node, pos int, newChild *xmltree.Node) (scheme.UpdateStats, error) {
+	pid, ok := n.ids[parent]
+	if !ok {
+		return scheme.UpdateStats{}, fmt.Errorf("core: insert under unnumbered node %s", parent.Path())
+	}
+	if pos < 0 || pos > len(parent.Children) {
+		return scheme.UpdateStats{}, fmt.Errorf("core: insert position %d out of range", pos)
+	}
+	parent.InsertChildAt(pos, newChild)
+
+	ga, _ := n.childContext(pid)
+	a := n.areas[ga]
+	need := n.areaFanout(a)
+	var st scheme.UpdateStats
+	newK := a.fanout
+	if need > newK {
+		// No space: enlarge the enumerating tree of this area only
+		// ("the enlargement changes only the identifiers of the nodes in
+		// this area").
+		newK = need
+		st.AreaRebuilds = 1
+	}
+	relabeled, err := n.reEnumerateArea(a, newK)
+	if err != nil {
+		return n.healOverflow(err, st)
+	}
+	st.Relabeled = relabeled
+	return st, nil
+}
+
+// healOverflow recovers from a local-index overflow during an update: the
+// node where the overflow occurred is promoted to an area root and the
+// numbering is rebuilt. This is the update-time analogue of the Build-time
+// promotion loop; it is rare (it needs a wide-and-deep area) and reported
+// conservatively as a full rebuild.
+func (n *Numbering) healOverflow(err error, st scheme.UpdateStats) (scheme.UpdateStats, error) {
+	var ov *overflowError
+	if !errorsAs(err, &ov) || ov.node == nil || n.areaRoots[ov.node] {
+		return st, err
+	}
+	n.areaRoots[ov.node] = true
+	for {
+		rerr := n.renumberAll()
+		if rerr == nil {
+			break
+		}
+		if !errorsAs(rerr, &ov) || ov.node == nil || n.areaRoots[ov.node] {
+			return st, rerr
+		}
+		n.areaRoots[ov.node] = true
+	}
+	st.FullRebuild = true
+	st.Relabeled = n.Size()
+	return st, nil
+}
+
+// DeleteChild implements scheme.Updatable: cascading deletion of the pos-th
+// child of parent (§3.2: "any node deletion in an XML tree is cascading").
+// Areas rooted inside the deleted subtree disappear with it; the frame
+// positions of surviving areas are untouched (the κ-ary arithmetic
+// tolerates the gaps), so no identifier outside the update area changes.
+func (n *Numbering) DeleteChild(parent *xmltree.Node, pos int) (scheme.UpdateStats, error) {
+	pid, ok := n.ids[parent]
+	if !ok {
+		return scheme.UpdateStats{}, fmt.Errorf("core: delete under unnumbered node %s", parent.Path())
+	}
+	if pos < 0 || pos >= len(parent.Children) {
+		return scheme.UpdateStats{}, fmt.Errorf("core: delete position %d out of range", pos)
+	}
+	removed := parent.RemoveChild(pos)
+	removed.Walk(func(x *xmltree.Node) bool {
+		n.dropNode(x)
+		for _, at := range x.Attrs {
+			n.dropNode(at)
+		}
+		return true
+	})
+
+	ga, _ := n.childContext(pid)
+	a := n.areas[ga]
+	relabeled, err := n.reEnumerateArea(a, a.fanout)
+	if err != nil {
+		return n.healOverflow(err, scheme.UpdateStats{})
+	}
+	return scheme.UpdateStats{Relabeled: relabeled}, nil
+}
+
+// dropNode removes one deleted node from all numbering state, including the
+// whole area it roots, if any.
+func (n *Numbering) dropNode(x *xmltree.Node) {
+	id, ok := n.ids[x]
+	if !ok {
+		return
+	}
+	delete(n.ids, x)
+	delete(n.nodes, id)
+	if n.areaRoots[x] && x != n.root {
+		delete(n.areaRoots, x)
+		delete(n.areas, id.Global)
+	}
+}
+
+// areaFanout scans the current members of area a (stopping at boundary
+// leaves) and returns the maximal structural fan-out — the kᵢ the area
+// needs.
+func (n *Numbering) areaFanout(a *area) int64 {
+	var need int64 = 1
+	var scan func(x *xmltree.Node)
+	scan = func(x *xmltree.Node) {
+		if x != a.root && n.areaRoots[x] {
+			return
+		}
+		kids := x.StructuralChildren(n.opts.WithAttrs)
+		if int64(len(kids)) > need {
+			need = int64(len(kids))
+		}
+		for _, c := range kids {
+			scan(c)
+		}
+	}
+	scan(a.root)
+	return need
+}
+
+// reEnumerateArea re-derives the local enumeration of one area with fan-out
+// k, updating node identifiers, the K row entries of child areas whose
+// roots moved slots, and the area's slot index. It returns the number of
+// pre-existing nodes whose identifier changed. Nodes enumerated for the
+// first time (fresh insertions) are not counted.
+func (n *Numbering) reEnumerateArea(a *area, k int64) (int, error) {
+	a.fanout = k
+	a.locals = make(map[int64]*xmltree.Node, len(a.locals))
+	a.rootByLocal = make(map[int64]int64, len(a.rootByLocal))
+	a.sortedDirty = true
+	relabeled := 0
+
+	var assign func(x *xmltree.Node, slot int64) error
+	assign = func(x *xmltree.Node, slot int64) error {
+		a.locals[slot] = x
+		if x != a.root && n.areaRoots[x] {
+			// Boundary leaf: the root of a lower area. Its own area keeps
+			// its global index and interior; only its slot here (and hence
+			// its K row and full identifier) may change.
+			old := n.ids[x]
+			a.rootByLocal[slot] = old.Global
+			child := n.areas[old.Global]
+			if child.rootLocal != slot {
+				child.rootLocal = slot
+				n.setID(x, ID{Global: old.Global, Local: slot, Root: true})
+				relabeled++
+			}
+			return nil
+		}
+		if x != a.root {
+			newID := ID{Global: a.global, Local: slot, Root: false}
+			old, existed := n.ids[x]
+			if !existed {
+				n.setID(x, newID)
+			} else if old != newID {
+				n.setID(x, newID)
+				relabeled++
+			}
+		}
+		for j, c := range x.StructuralChildren(n.opts.WithAttrs) {
+			cl, ok := childIndex(slot, a.fanout, j)
+			if !ok || cl > n.localLimit {
+				return &overflowError{area: a.global, node: x}
+			}
+			if err := assign(c, cl); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := assign(a.root, 1); err != nil {
+		return relabeled, err
+	}
+	return relabeled, nil
+}
+
+// Repartition rebuilds the numbering from scratch with a fresh automatic
+// partition, re-balancing areas after bulk structural change. It returns
+// the number of nodes whose identifier changed.
+func (n *Numbering) Repartition(cfg PartitionConfig) (int, error) {
+	old := make(map[*xmltree.Node]ID, len(n.ids))
+	for x, id := range n.ids {
+		old[x] = id
+	}
+	n.areaRoots = SelectAreaRoots(n.root, cfg, n.opts.WithAttrs)
+	n.opts.Partition = cfg
+	if err := n.renumberAll(); err != nil {
+		return 0, err
+	}
+	changed := 0
+	for x, oldID := range old {
+		if newID, ok := n.ids[x]; ok && newID != oldID {
+			changed++
+		}
+	}
+	return changed, nil
+}

@@ -1,0 +1,146 @@
+package dataguide_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataguide"
+	"repro/internal/xmltree"
+)
+
+func TestGuideBasics(t *testing.T) {
+	doc, err := xmltree.ParseString(
+		`<a><b><c/><c/></b><b><d/></b><e><c/></e></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataguide.Build(doc)
+	// Distinct label paths: /a, /a/b, /a/b/c, /a/b/d, /a/e, /a/e/c.
+	if g.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", g.Size())
+	}
+	cases := []struct {
+		path []string
+		want int
+	}{
+		{[]string{"a"}, 1},
+		{[]string{"a", "b"}, 2},
+		{[]string{"a", "b", "c"}, 2},
+		{[]string{"a", "b", "d"}, 1},
+		{[]string{"a", "e", "c"}, 1},
+		{[]string{"a", "x"}, 0},
+		{[]string{"b"}, 0},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		if got := g.Count(c.path...); got != c.want {
+			t.Errorf("Count(%v) = %d, want %d", c.path, got, c.want)
+		}
+	}
+	if !g.HasChain("a", "c") || !g.HasChain("b", "c") || !g.HasChain("e", "c") {
+		t.Errorf("existing chains rejected")
+	}
+	if g.HasChain("c", "b") || g.HasChain("d", "c") || g.HasChain("x") {
+		t.Errorf("impossible chains accepted")
+	}
+	paths := g.Paths()
+	if len(paths) != 6 || paths[0] != "/a" {
+		t.Fatalf("Paths() = %v", paths)
+	}
+	if !strings.Contains(g.String(), "b (2)") {
+		t.Fatalf("String() = %s", g.String())
+	}
+}
+
+// TestGuideMatchesBruteForce: counts and chain existence agree with direct
+// document scans on random documents.
+func TestGuideMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		doc := xmltree.Random(xmltree.RandomConfig{
+			Nodes: 300, MaxFanout: 5, Seed: int64(trial),
+		})
+		g := dataguide.Build(doc)
+		root := doc.DocumentElement()
+
+		// Count: pick random real paths and some fakes.
+		for i := 0; i < 20; i++ {
+			var path []string
+			n := root.Elements()[rng.Intn(len(root.Elements()))]
+			for cur := n; cur != nil && cur.Kind == xmltree.Element; cur = cur.Parent {
+				path = append([]string{cur.Name}, path...)
+			}
+			want := 0
+			root.Walk(func(x *xmltree.Node) bool {
+				if x.Kind != xmltree.Element {
+					return true
+				}
+				var p []string
+				for cur := x; cur != nil && cur.Kind == xmltree.Element; cur = cur.Parent {
+					p = append([]string{cur.Name}, p...)
+				}
+				if len(p) == len(path) {
+					same := true
+					for j := range p {
+						if p[j] != path[j] {
+							same = false
+							break
+						}
+					}
+					if same {
+						want++
+					}
+				}
+				return true
+			})
+			if got := g.Count(path...); got != want {
+				t.Fatalf("trial %d: Count(%v) = %d, want %d", trial, path, got, want)
+			}
+		}
+
+		// HasChain vs brute force on random name pairs/triples.
+		names := []string{"e0", "e1", "e2", "e5", "e9", "e15", "nonexistent"}
+		for i := 0; i < 30; i++ {
+			k := 2 + rng.Intn(2)
+			chain := make([]string, k)
+			for j := range chain {
+				chain[j] = names[rng.Intn(len(names))]
+			}
+			want := false
+			root.Walk(func(x *xmltree.Node) bool {
+				if x.Kind != xmltree.Element || x.Name != chain[len(chain)-1] {
+					return true
+				}
+				// Walk up checking the chain in reverse.
+				idx := len(chain) - 2
+				for cur := x.Parent; cur != nil && cur.Kind == xmltree.Element && idx >= 0; cur = cur.Parent {
+					if cur.Name == chain[idx] {
+						idx--
+					}
+				}
+				if idx < 0 {
+					want = true
+				}
+				return true
+			})
+			if got := g.HasChain(chain...); got != want {
+				t.Fatalf("trial %d: HasChain(%v) = %v, want %v", trial, chain, got, want)
+			}
+		}
+	}
+}
+
+// TestGuideCompression: on regular documents the guide is much smaller
+// than the document.
+func TestGuideCompression(t *testing.T) {
+	doc := xmltree.DBLP(1000, 3)
+	g := dataguide.Build(doc)
+	nodes := len(doc.DocumentElement().Elements())
+	if g.Size() >= nodes/100 {
+		t.Fatalf("guide has %d paths for %d elements: no compression", g.Size(), nodes)
+	}
+	if g.Count("dblp", "article") != 1000 {
+		t.Fatalf("Count(dblp/article) = %d", g.Count("dblp", "article"))
+	}
+}

@@ -1,0 +1,275 @@
+// Package index implements element-name indexing and structural joins over
+// numbered documents — the application that motivated the UID family in the
+// first place (paper §1: "ascertaining the identifiers of data items prior
+// to loading data from the disk can help to reduce disk access"; §6 cites
+// the UID's original use "to facilitate the indexing").
+//
+// A NameIndex maps each element name to the document-ordered list of
+// identifiers of elements with that name. Structural joins combine two such
+// lists under the ancestor-descendant relationship; three strategies are
+// provided:
+//
+//   - UpwardJoin — the UID-family specialty: for each descendant candidate,
+//     the ancestor chain is *computed* from the identifier (rparent
+//     arithmetic) and probed against a hash of the ancestor list. No tree
+//     or storage access at all.
+//   - MergeJoin — the stack-based sort-merge join usable by any scheme that
+//     can compare order and test ancestorship (interval schemes included).
+//   - NaiveJoin — the quadratic baseline.
+//
+// All strategies return identical results; the benchmarks (experiment E11)
+// compare their costs across selectivities.
+package index
+
+import (
+	"sort"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// NameIndex is an in-memory inverted index from element name to the
+// identifiers of the elements carrying it, in document order.
+type NameIndex struct {
+	s      scheme.Scheme
+	byName map[string][]scheme.ID
+}
+
+// Build indexes every element of the snapshot rooted at root under scheme s.
+func Build(root *xmltree.Node, s scheme.Scheme) *NameIndex {
+	ix := &NameIndex{s: s, byName: make(map[string][]scheme.ID)}
+	root.Walk(func(x *xmltree.Node) bool {
+		if x.Kind != xmltree.Element {
+			return true
+		}
+		if id, ok := s.IDOf(x); ok {
+			ix.byName[x.Name] = append(ix.byName[x.Name], id)
+		}
+		return true
+	})
+	// Walk order is document order already; keep lists as built.
+	return ix
+}
+
+// Scheme returns the numbering scheme the index was built over.
+func (ix *NameIndex) Scheme() scheme.Scheme { return ix.s }
+
+// Names returns the indexed element names, sorted.
+func (ix *NameIndex) Names() []string {
+	names := make([]string, 0, len(ix.byName))
+	for n := range ix.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IDs returns the identifiers of elements named name, in document order.
+// The returned slice is shared; callers must not modify it.
+func (ix *NameIndex) IDs(name string) []scheme.ID { return ix.byName[name] }
+
+// Count returns the number of elements named name.
+func (ix *NameIndex) Count(name string) int { return len(ix.byName[name]) }
+
+// Pair is one (ancestor, descendant) join result.
+type Pair struct {
+	Ancestor   scheme.ID
+	Descendant scheme.ID
+}
+
+// key renders an identifier as a map key.
+func key(id scheme.ID) string { return string(id.Key()) }
+
+// UpwardJoin returns, in document order of the descendant, every pair
+// (a, d) with a ∈ ancs a proper ancestor of d ∈ descs. The ancestor chain
+// of each descendant is computed by parent arithmetic and probed against a
+// hash of ancs — the strategy only UID-family schemes support, because it
+// needs Parent to be computable from the identifier alone.
+func UpwardJoin(s scheme.Scheme, ancs, descs []scheme.ID) []Pair {
+	set := make(map[string]scheme.ID, len(ancs))
+	for _, a := range ancs {
+		set[key(a)] = a
+	}
+	var out []Pair
+	for _, d := range descs {
+		cur := d
+		for {
+			p, ok := s.Parent(cur)
+			if !ok {
+				break
+			}
+			if a, hit := set[key(p)]; hit {
+				out = append(out, Pair{Ancestor: a, Descendant: d})
+			}
+			cur = p
+		}
+	}
+	return out
+}
+
+// UpwardSemiJoin returns the descendants of descs having at least one
+// ancestor in ancs, in input (document) order. It stops climbing at the
+// first hit, so it is cheaper than UpwardJoin when only existence matters.
+func UpwardSemiJoin(s scheme.Scheme, ancs, descs []scheme.ID) []scheme.ID {
+	set := make(map[string]bool, len(ancs))
+	for _, a := range ancs {
+		set[key(a)] = true
+	}
+	var out []scheme.ID
+	for _, d := range descs {
+		cur := d
+		for {
+			p, ok := s.Parent(cur)
+			if !ok {
+				break
+			}
+			if set[key(p)] {
+				out = append(out, d)
+				break
+			}
+			cur = p
+		}
+	}
+	return out
+}
+
+// MergeJoin returns the same pairs as UpwardJoin using the stack-based
+// sort-merge strategy: both inputs must be in document order; ancestors
+// whose subtrees are open are kept on a stack. It needs only CompareOrder
+// and IsAncestor, so it works for interval schemes too.
+func MergeJoin(s scheme.Scheme, ancs, descs []scheme.ID) []Pair {
+	var out []Pair
+	var stack []scheme.ID
+	i := 0
+	for _, d := range descs {
+		// Admit every ancestor candidate that starts before d.
+		for i < len(ancs) && s.CompareOrder(ancs[i], d) < 0 {
+			// Pop candidates whose subtree closed before this one starts.
+			for len(stack) > 0 && !s.IsAncestor(stack[len(stack)-1], ancs[i]) &&
+				s.CompareOrder(stack[len(stack)-1], ancs[i]) < 0 {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, ancs[i])
+			i++
+		}
+		// Pop candidates whose subtree closed before d.
+		for len(stack) > 0 && !s.IsAncestor(stack[len(stack)-1], d) {
+			stack = stack[:len(stack)-1]
+		}
+		// Every remaining stack entry is an ancestor of d (they are nested).
+		for _, a := range stack {
+			out = append(out, Pair{Ancestor: a, Descendant: d})
+		}
+	}
+	return out
+}
+
+// NaiveJoin is the quadratic baseline: every pair tested with IsAncestor.
+func NaiveJoin(s scheme.Scheme, ancs, descs []scheme.ID) []Pair {
+	var out []Pair
+	for _, d := range descs {
+		for _, a := range ancs {
+			if s.IsAncestor(a, d) {
+				out = append(out, Pair{Ancestor: a, Descendant: d})
+			}
+		}
+	}
+	return out
+}
+
+// PathQuery evaluates a pure descendant path //n1//n2//…//nk over the
+// index with a pipeline of upward semi-joins, returning the identifiers of
+// the final step's elements in document order. This is the §4 "query
+// evaluation" use of the numbering scheme: the whole pipeline runs on
+// identifiers; nodes are fetched only by the caller, afterwards.
+func (ix *NameIndex) PathQuery(names ...string) []scheme.ID {
+	if len(names) == 0 {
+		return nil
+	}
+	// Top-down pipeline: after step i, cur holds the names[i] elements
+	// reachable through a chain names[0] ≻ names[1] ≻ … ≻ names[i]. The
+	// chain must be honored step by step — filtering the leaf list against
+	// each ancestor name independently would accept ancestors in the wrong
+	// vertical order.
+	cur := ix.IDs(names[0])
+	for step := 1; step < len(names); step++ {
+		cur = UpwardSemiJoin(ix.s, cur, ix.IDs(names[step]))
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// ParentSemiJoin returns the descendants of descs whose *direct parent* is
+// in ancs, in input (document) order. One rparent computation per
+// candidate — the child-step counterpart of UpwardSemiJoin.
+func ParentSemiJoin(s scheme.Scheme, ancs, descs []scheme.ID) []scheme.ID {
+	set := make(map[string]bool, len(ancs))
+	for _, a := range ancs {
+		set[key(a)] = true
+	}
+	var out []scheme.ID
+	for _, d := range descs {
+		if p, ok := s.Parent(d); ok && set[key(p)] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AncestorSemiJoin returns the ancestors of ancs having at least one proper
+// descendant in descs, in ancs order. Every descendant's ancestor chain is
+// computed arithmetically and matched against ancs.
+func AncestorSemiJoin(s scheme.Scheme, ancs, descs []scheme.ID) []scheme.ID {
+	set := make(map[string]bool, len(ancs))
+	for _, a := range ancs {
+		set[key(a)] = true
+	}
+	hit := make(map[string]bool)
+	for _, d := range descs {
+		cur := d
+		for {
+			p, ok := s.Parent(cur)
+			if !ok {
+				break
+			}
+			k := key(p)
+			if set[k] {
+				hit[k] = true
+			}
+			cur = p
+		}
+	}
+	out := make([]scheme.ID, 0, len(hit))
+	for _, a := range ancs {
+		if hit[key(a)] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ChildSemiJoin returns the ancestors of ancs having at least one *direct
+// child* in descs, in ancs order.
+func ChildSemiJoin(s scheme.Scheme, ancs, descs []scheme.ID) []scheme.ID {
+	set := make(map[string]bool, len(ancs))
+	for _, a := range ancs {
+		set[key(a)] = true
+	}
+	hit := make(map[string]bool)
+	for _, d := range descs {
+		if p, ok := s.Parent(d); ok {
+			if k := key(p); set[k] {
+				hit[k] = true
+			}
+		}
+	}
+	out := make([]scheme.ID, 0, len(hit))
+	for _, a := range ancs {
+		if hit[key(a)] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

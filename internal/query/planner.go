@@ -1,0 +1,333 @@
+// Package query implements a small cost-based planner over a numbered
+// document: simple absolute location paths made of child/descendant steps
+// with plain name tests compile to an identifier-only join pipeline
+// (internal/index); everything else falls back to the axis-navigation
+// engine (internal/xpath). The cost model uses the name-index counts the
+// way a relational optimizer uses table cardinalities.
+//
+// This realizes the §4 "query evaluation" application end to end: a query
+// arrives as text, the planner decides how much of it can run purely on
+// identifiers, and only the final result set touches nodes.
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/dataguide"
+	"repro/internal/index"
+	"repro/internal/scheme"
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// PlanKind distinguishes execution strategies.
+type PlanKind int
+
+// Plan kinds.
+const (
+	// NavPlan evaluates the full location path with the axis engine.
+	NavPlan PlanKind = iota
+	// JoinPlan evaluates a name-step chain as an identifier join pipeline.
+	JoinPlan
+	// TwigPlan evaluates a branching name-test pattern with the two-pass
+	// twig matcher.
+	TwigPlan
+)
+
+// String names the plan kind.
+func (k PlanKind) String() string {
+	switch k {
+	case JoinPlan:
+		return "join"
+	case TwigPlan:
+		return "twig"
+	default:
+		return "nav"
+	}
+}
+
+// step is one stage of a join pipeline.
+type step struct {
+	name       string
+	descendant bool // true: //name (UpwardSemiJoin); false: /name (ParentSemiJoin)
+}
+
+// Plan is a chosen execution strategy for one query.
+type Plan struct {
+	Kind    PlanKind
+	Query   string
+	Paths   []xpath.Path // parsed form (all kinds)
+	chain   []step       // JoinPlan only
+	pattern *twig.Node   // TwigPlan only
+	NavCost float64      // estimated cost of navigation
+	JoinCst float64      // estimated cost of the identifier plan (join or twig)
+}
+
+// Explain renders the plan decision for logs and tests.
+func (p Plan) Explain() string {
+	switch p.Kind {
+	case JoinPlan:
+		return fmt.Sprintf("join pipeline (est %.0f vs nav %.0f): %v", p.JoinCst, p.NavCost, p.chain)
+	case TwigPlan:
+		return fmt.Sprintf("twig match (est %.0f vs nav %.0f): %s", p.JoinCst, p.NavCost, p.pattern)
+	default:
+		return fmt.Sprintf("navigation (est %.0f)", p.NavCost)
+	}
+}
+
+// Planner plans and executes queries over one numbered snapshot.
+type Planner struct {
+	doc    *xmltree.Node
+	s      scheme.Scheme
+	ix     *index.NameIndex
+	guide  *dataguide.Guide
+	engine *xpath.Engine
+
+	nodes     int
+	meanDepth float64
+}
+
+// New builds a planner over doc numbered by s (which must also provide the
+// axes for the fallback engine, i.e. implement scheme.AxisScheme).
+func New(doc *xmltree.Node, s scheme.AxisScheme) *Planner {
+	root := doc
+	if doc.Kind == xmltree.Document {
+		root = doc.DocumentElement()
+	}
+	p := &Planner{
+		doc:    doc,
+		s:      s,
+		ix:     index.Build(root, s),
+		guide:  dataguide.Build(doc),
+		engine: xpath.NewEngine(doc, xpath.SchemeNavigator{S: s}),
+	}
+	total, count := 0, 0
+	root.Walk(func(x *xmltree.Node) bool {
+		total += x.Depth()
+		count++
+		return true
+	})
+	p.nodes = count
+	if count > 0 {
+		p.meanDepth = float64(total) / float64(count)
+	}
+	return p
+}
+
+// Index exposes the planner's name index (for statistics and tests).
+func (p *Planner) Index() *index.NameIndex { return p.ix }
+
+// Guide exposes the planner's DataGuide structural summary.
+func (p *Planner) Guide() *dataguide.Guide { return p.guide }
+
+// Plan parses the query and chooses a strategy.
+func (p *Planner) Plan(q string) (Plan, error) {
+	paths, err := xpath.ParseUnion(q)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan := Plan{Kind: NavPlan, Query: q, Paths: paths, NavCost: p.navCost(paths)}
+	if len(paths) != 1 {
+		return plan, nil
+	}
+	chain, ok := compileChain(paths[0])
+	if !ok {
+		// A branching name-test pattern still beats navigation when the
+		// involved name lists are small: try the twig compiler.
+		if pattern, err := twig.CompilePath(paths[0]); err == nil {
+			// Each pattern edge is one semi-join: child edges probe once
+			// per candidate, descendant edges climb an ancestor chain that
+			// stops at the first hit (about half the mean depth). The root
+			// list itself is free.
+			cost := 0.0
+			var walk func(n *twig.Node, isRoot bool)
+			walk = func(n *twig.Node, isRoot bool) {
+				if !isRoot {
+					per := 1.0
+					if n.Edge == twig.Descendant {
+						per = p.meanDepth / 2
+					}
+					cost += float64(p.ix.Count(n.Name)) * per
+				}
+				for _, c := range n.Children {
+					walk(c, false)
+				}
+			}
+			walk(pattern, true)
+			plan.pattern = pattern
+			plan.JoinCst = cost
+			if cost < plan.NavCost {
+				plan.Kind = TwigPlan
+			}
+		}
+		return plan, nil
+	}
+	// Join pipeline cost: each stage climbs (descendant step) or probes
+	// (child step) once per surviving candidate; surviving cardinality is
+	// bounded by the stage's own name count.
+	cost := 0.0
+	for i, st := range chain {
+		card := float64(p.ix.Count(st.name))
+		if i == 0 {
+			continue // the first list is free (already materialized)
+		}
+		perCandidate := 1.0
+		if st.descendant {
+			perCandidate = p.meanDepth
+		}
+		cost += card * perCandidate
+	}
+	plan.chain = chain
+	plan.JoinCst = cost
+	if cost < plan.NavCost {
+		plan.Kind = JoinPlan
+	}
+	return plan, nil
+}
+
+// navCost estimates axis-navigation cost: absolute descendant queries scan
+// the document once per '//' step in the worst case.
+func (p *Planner) navCost(paths []xpath.Path) float64 {
+	cost := 0.0
+	for _, path := range paths {
+		steps := 1
+		for _, s := range path.Steps {
+			if s.Axis == xpath.AxisDescendant || s.Axis == xpath.AxisDescendantOrSelf {
+				steps++
+			}
+		}
+		cost += float64(p.nodes) * float64(steps)
+	}
+	return cost
+}
+
+// compileChain recognizes absolute paths of the form
+// /a/b//c/… (child and descendant steps, plain name tests, no predicates)
+// and compiles them to a join chain. It returns ok=false otherwise.
+func compileChain(path xpath.Path) ([]step, bool) {
+	if !path.Absolute || len(path.Steps) == 0 {
+		return nil, false
+	}
+	var chain []step
+	pendingDescendant := false
+	for _, s := range path.Steps {
+		if len(s.Predicates) > 0 {
+			return nil, false
+		}
+		if s.Axis == xpath.AxisDescendantOrSelf && s.Test.Kind == xpath.TestNode {
+			pendingDescendant = true // the '//' abbreviation
+			continue
+		}
+		if s.Axis != xpath.AxisChild || s.Test.Kind != xpath.TestName || s.Test.Name == "*" {
+			return nil, false
+		}
+		chain = append(chain, step{name: s.Test.Name, descendant: pendingDescendant})
+		pendingDescendant = false
+	}
+	if pendingDescendant || len(chain) == 0 {
+		return nil, false
+	}
+	// The first step must anchor at the document root: /a means "a is the
+	// root element", //a means "a anywhere" — both are fine as the initial
+	// list, but a root-anchored /a must filter to the root element, which
+	// the executor handles.
+	return chain, true
+}
+
+// Run plans and executes the query, returning the result node-set in
+// document order together with the plan used.
+func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
+	plan, err := p.Plan(q)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	if plan.Kind == NavPlan {
+		nodes, err := p.engine.Query(q)
+		return nodes, plan, err
+	}
+	// DataGuide pruning: a name chain absent from every label path cannot
+	// match; refuse it before running any join (§6 [4]: the guide lets
+	// "users perform meaningful and valid queries").
+	if !p.guide.HasChain(plan.spineNames()...) {
+		return nil, plan, nil
+	}
+	var ids []scheme.ID
+	if plan.Kind == TwigPlan {
+		ids = twig.Match(plan.pattern, p.ix)
+	} else {
+		ids = p.runChain(plan.chain)
+	}
+	nodes := make([]*xmltree.Node, 0, len(ids))
+	for _, id := range ids {
+		if n, ok := p.s.NodeOf(id); ok {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes, plan, nil
+}
+
+// runChain executes a join pipeline on identifiers only.
+func (p *Planner) runChain(chain []step) []scheme.ID {
+	first := chain[0]
+	cur := p.ix.IDs(first.name)
+	if !first.descendant {
+		// Root-anchored /name: only the document root element qualifies.
+		root := p.doc
+		if root.Kind == xmltree.Document {
+			root = root.DocumentElement()
+		}
+		cur = nil
+		if root != nil && root.Name == first.name {
+			if id, ok := p.s.IDOf(root); ok {
+				cur = []scheme.ID{id}
+			}
+		}
+	}
+	for _, st := range chain[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		if st.descendant {
+			cur = index.UpwardSemiJoin(p.s, cur, p.ix.IDs(st.name))
+		} else {
+			cur = index.ParentSemiJoin(p.s, cur, p.ix.IDs(st.name))
+		}
+	}
+	return cur
+}
+
+// spineNames returns the name chain along the plan's output path, used for
+// DataGuide satisfiability pruning (conservative: descendant gaps allowed).
+func (p Plan) spineNames() []string {
+	var names []string
+	if p.Kind == JoinPlan {
+		for _, st := range p.chain {
+			names = append(names, st.name)
+		}
+		return names
+	}
+	for n := p.pattern; n != nil; {
+		names = append(names, n.Name)
+		var next *twig.Node
+		for _, c := range n.Children {
+			if c.Output || hasOutput(c) {
+				next = c
+			}
+		}
+		n = next
+	}
+	return names
+}
+
+func hasOutput(n *twig.Node) bool {
+	if n.Output {
+		return true
+	}
+	for _, c := range n.Children {
+		if hasOutput(c) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package scheme
+
+import "testing"
+
+func TestUpdateStatsAdd(t *testing.T) {
+	var s UpdateStats
+	s.Add(UpdateStats{Relabeled: 3, AreaRebuilds: 1})
+	s.Add(UpdateStats{Relabeled: 2, FullRebuild: true})
+	if s.Relabeled != 5 || !s.FullRebuild || s.AreaRebuilds != 1 {
+		t.Fatalf("accumulated stats = %+v", s)
+	}
+}

@@ -1,0 +1,203 @@
+// Package storage is the simulated RDBMS substrate. The paper stored and
+// indexed numbered XML nodes in a relational system reached over JDBC; its
+// performance observations, however, are about algorithmic quantities —
+// how many identifier records change, how many index pages a lookup
+// touches, whether parent computation needs any I/O at all. This package
+// reproduces exactly those quantities with a deterministic in-process page
+// store:
+//
+//   - Pager: fixed-size pages behind a bounded buffer pool with full read /
+//     write / hit accounting;
+//   - BTree: a B+tree over byte-string keys whose nodes live in pages, used
+//     as the clustered (global, local) identifier index;
+//   - NodeStore: the node table — one record per numbered node, keyed by
+//     the identifier's byte key;
+//   - PartitionedStore: the §4 "database file/table selection" layout, one
+//     table per ruid global index.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of one simulated disk page in bytes.
+const PageSize = 4096
+
+// IOStats counts simulated disk traffic.
+type IOStats struct {
+	Reads     int64 // pages fetched from "disk" (buffer-pool misses)
+	Writes    int64 // pages written back to "disk"
+	CacheHits int64 // page requests served from the buffer pool
+}
+
+// Sub returns the difference s − prev, for measuring one operation.
+func (s IOStats) Sub(prev IOStats) IOStats {
+	return IOStats{
+		Reads:     s.Reads - prev.Reads,
+		Writes:    s.Writes - prev.Writes,
+		CacheHits: s.CacheHits - prev.CacheHits,
+	}
+}
+
+// String renders the counters compactly.
+func (s IOStats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d hits=%d", s.Reads, s.Writes, s.CacheHits)
+}
+
+// ErrPageBounds reports an out-of-range page access.
+var ErrPageBounds = errors.New("storage: page id out of range")
+
+// Pager provides fixed-size pages on a simulated disk behind a bounded
+// buffer pool with second-chance (clock) eviction. All I/O is counted.
+type Pager struct {
+	disk  [][]byte // the "disk": page id -> page image
+	stats IOStats
+
+	capacity int
+	frames   map[int32]*frame
+	clock    []*frame
+	hand     int
+}
+
+type frame struct {
+	id     int32
+	data   []byte
+	dirty  bool
+	refbit bool
+}
+
+// NewPager returns a pager whose buffer pool holds poolPages pages
+// (minimum 4).
+func NewPager(poolPages int) *Pager {
+	if poolPages < 4 {
+		poolPages = 4
+	}
+	return &Pager{
+		capacity: poolPages,
+		frames:   make(map[int32]*frame, poolPages),
+	}
+}
+
+// Alloc creates a new zeroed page on disk and returns its id. The page is
+// not faulted into the pool until first use.
+func (p *Pager) Alloc() int32 {
+	p.disk = append(p.disk, make([]byte, PageSize))
+	return int32(len(p.disk) - 1)
+}
+
+// Read returns the current contents of a page, counting a buffer-pool hit
+// or a disk read. The returned slice is the pooled frame: callers must copy
+// if they hold it across other pager calls.
+func (p *Pager) Read(id int32) ([]byte, error) {
+	f, err := p.fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// Write replaces the contents of a page (through the pool, marking the
+// frame dirty; the disk write is counted at eviction or Flush).
+func (p *Pager) Write(id int32, data []byte) error {
+	if len(data) > PageSize {
+		return fmt.Errorf("storage: page %d write of %d bytes exceeds page size", id, len(data))
+	}
+	f, err := p.fetch(id)
+	if err != nil {
+		return err
+	}
+	copy(f.data, data)
+	for i := len(data); i < PageSize; i++ {
+		f.data[i] = 0
+	}
+	f.dirty = true
+	return nil
+}
+
+// fetch returns the frame for a page, faulting it in if needed.
+func (p *Pager) fetch(id int32) (*frame, error) {
+	if int(id) < 0 || int(id) >= len(p.disk) {
+		return nil, fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	if f, ok := p.frames[id]; ok {
+		p.stats.CacheHits++
+		f.refbit = true
+		return f, nil
+	}
+	p.stats.Reads++
+	f := &frame{id: id, data: make([]byte, PageSize), refbit: true}
+	copy(f.data, p.disk[id])
+	if len(p.frames) >= p.capacity {
+		p.evict()
+	}
+	p.frames[id] = f
+	p.clock = append(p.clock, f)
+	return f, nil
+}
+
+// evict removes one frame using the clock algorithm, writing it back if
+// dirty.
+func (p *Pager) evict() {
+	for {
+		if p.hand >= len(p.clock) {
+			p.hand = 0
+		}
+		f := p.clock[p.hand]
+		if f.refbit {
+			f.refbit = false
+			p.hand++
+			continue
+		}
+		if f.dirty {
+			copy(p.disk[f.id], f.data)
+			p.stats.Writes++
+		}
+		delete(p.frames, f.id)
+		p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
+		return
+	}
+}
+
+// Flush writes every dirty frame back to disk.
+func (p *Pager) Flush() {
+	for _, f := range p.frames {
+		if f.dirty {
+			copy(p.disk[f.id], f.data)
+			p.stats.Writes++
+			f.dirty = false
+		}
+	}
+}
+
+// Stats returns the accumulated I/O counters.
+func (p *Pager) Stats() IOStats { return p.stats }
+
+// ResetStats zeroes the I/O counters (the pool content is unchanged).
+func (p *Pager) ResetStats() { p.stats = IOStats{} }
+
+// DropCache empties the buffer pool (writing dirty pages back), so that
+// subsequent reads are cold. Useful for measuring worst-case I/O.
+func (p *Pager) DropCache() {
+	p.Flush()
+	p.frames = make(map[int32]*frame, p.capacity)
+	p.clock = nil
+	p.hand = 0
+}
+
+// Pages returns the number of allocated pages.
+func (p *Pager) Pages() int { return len(p.disk) }
+
+// PageStore is the page-level interface the B+tree is built on. *Pager is
+// the production implementation; tests substitute fault-injecting stores to
+// exercise error propagation.
+type PageStore interface {
+	// Alloc creates a new zeroed page and returns its id.
+	Alloc() int32
+	// Read returns the current page contents (valid until the next call).
+	Read(id int32) ([]byte, error)
+	// Write replaces the page contents.
+	Write(id int32, data []byte) error
+}
+
+var _ PageStore = (*Pager)(nil)

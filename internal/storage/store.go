@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// Record is one stored node row: the relational projection the paper uses
+// (identifier columns plus element name and value).
+type Record struct {
+	Name  string // element/attribute name
+	Kind  uint8  // xmltree.Kind
+	Value string // text value (for text and attribute nodes)
+}
+
+// encodeRecord serializes a record.
+func encodeRecord(r Record) []byte {
+	buf := make([]byte, 0, 5+len(r.Name)+len(r.Value))
+	var u16 [2]byte
+	buf = append(buf, r.Kind)
+	binary.BigEndian.PutUint16(u16[:], uint16(len(r.Name)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, r.Name...)
+	binary.BigEndian.PutUint16(u16[:], uint16(len(r.Value)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, r.Value...)
+	return buf
+}
+
+// decodeRecord parses a serialized record.
+func decodeRecord(b []byte) (Record, error) {
+	if len(b) < 5 {
+		return Record{}, fmt.Errorf("storage: record too short (%d bytes)", len(b))
+	}
+	r := Record{Kind: b[0]}
+	off := 1
+	nl := int(binary.BigEndian.Uint16(b[off : off+2]))
+	off += 2
+	if off+nl+2 > len(b) {
+		return Record{}, fmt.Errorf("storage: corrupt record name")
+	}
+	r.Name = string(b[off : off+nl])
+	off += nl
+	vl := int(binary.BigEndian.Uint16(b[off : off+2]))
+	off += 2
+	if off+vl > len(b) {
+		return Record{}, fmt.Errorf("storage: corrupt record value")
+	}
+	r.Value = string(b[off : off+vl])
+	return r, nil
+}
+
+// recordOf projects a node to its stored row.
+func recordOf(n *xmltree.Node) Record {
+	r := Record{Name: n.Name, Kind: uint8(n.Kind)}
+	if n.Kind == xmltree.Text || n.Kind == xmltree.Attribute ||
+		n.Kind == xmltree.Comment || n.Kind == xmltree.ProcInst {
+		r.Value = n.Data
+	}
+	return r
+}
+
+// NodeStore is the node table of one document: records keyed by the
+// numbering scheme's identifier keys, clustered in a B+tree. With a ruid
+// numbering, key order is (global index, local index) — exactly the sort
+// order the paper prescribes for RDBMS storage.
+type NodeStore struct {
+	pager *Pager
+	tree  *BTree
+}
+
+// NewNodeStore creates an empty node table with the given buffer-pool size
+// (pages).
+func NewNodeStore(poolPages int) *NodeStore {
+	p := NewPager(poolPages)
+	return &NodeStore{pager: p, tree: NewBTree(p)}
+}
+
+// Load bulk-inserts every numbered node of s (document order).
+func (st *NodeStore) Load(root *xmltree.Node, s scheme.Scheme, withAttrs bool) error {
+	var err error
+	root.WalkFull(func(n *xmltree.Node) bool {
+		if n.Kind == xmltree.Attribute && !withAttrs {
+			return true
+		}
+		id, ok := s.IDOf(n)
+		if !ok {
+			return true
+		}
+		if e := st.tree.Put(id.Key(), encodeRecord(recordOf(n))); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// Put inserts or replaces one row.
+func (st *NodeStore) Put(id scheme.ID, n *xmltree.Node) error {
+	return st.tree.Put(id.Key(), encodeRecord(recordOf(n)))
+}
+
+// Get fetches the row stored under id.
+func (st *NodeStore) Get(id scheme.ID) (Record, bool, error) {
+	v, ok, err := st.tree.Get(id.Key())
+	if err != nil || !ok {
+		return Record{}, false, err
+	}
+	r, err := decodeRecord(v)
+	if err != nil {
+		return Record{}, false, err
+	}
+	return r, true, nil
+}
+
+// Delete removes the row stored under id.
+func (st *NodeStore) Delete(id scheme.ID) (bool, error) {
+	return st.tree.Delete(id.Key())
+}
+
+// ScanRange visits the rows whose keys fall in [lo, hi] in key order.
+func (st *NodeStore) ScanRange(lo, hi []byte, fn func(key []byte, r Record) bool) error {
+	var derr error
+	err := st.tree.Scan(lo, hi, func(k, v []byte) bool {
+		r, e := decodeRecord(v)
+		if e != nil {
+			derr = e
+			return false
+		}
+		return fn(k, r)
+	})
+	if err != nil {
+		return err
+	}
+	return derr
+}
+
+// Len returns the number of stored rows.
+func (st *NodeStore) Len() int { return st.tree.Len() }
+
+// Stats returns the accumulated I/O counters.
+func (st *NodeStore) Stats() IOStats { return st.pager.Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (st *NodeStore) ResetStats() { st.pager.ResetStats() }
+
+// DropCache empties the buffer pool for cold measurements.
+func (st *NodeStore) DropCache() { st.pager.DropCache() }
+
+// Height returns the clustered index height.
+func (st *NodeStore) Height() (int, error) { return st.tree.Height() }
+
+// Pages returns the number of allocated pages.
+func (st *NodeStore) Pages() int { return st.pager.Pages() }

@@ -1,0 +1,41 @@
+package uid_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/uid"
+	"repro/internal/xmltree"
+)
+
+// ExampleBuild enumerates a small tree with the original UID and shows
+// formula (1) recovering a parent.
+func ExampleBuild() {
+	doc, _ := xmltree.ParseString(`<a><b><d/><e/></b><c/></a>`)
+	n, _ := uid.Build(doc, uid.Options{}) // k = max fan-out = 2
+	var parts []string
+	doc.DocumentElement().Walk(func(x *xmltree.Node) bool {
+		id, _ := n.IDOf(x)
+		parts = append(parts, fmt.Sprintf("%s=%s", x.Name, id))
+		return true
+	})
+	fmt.Println(strings.Join(parts, " "))
+	fmt.Println("parent of 5:", uid.Parent64(5, n.K()))
+	// Output:
+	// a=1 b=2 d=4 e=5 c=3
+	// parent of 5: 2
+}
+
+// ExampleNumbering_InsertChild reproduces the Fig. 1 fragility: inserting
+// before existing children relabels their subtrees.
+func ExampleNumbering_InsertChild() {
+	doc, labels := xmltree.PaperFigure1()
+	n, _ := uid.Build(doc, uid.Options{K: 3})
+	st, _ := n.InsertChild(labels[1], 1, xmltree.NewElement("new"))
+	fmt.Println("relabeled:", st.Relabeled)
+	id, _ := n.IDOf(labels[23])
+	fmt.Println("node 23 is now:", id)
+	// Output:
+	// relabeled: 6
+	// node 23 is now: 32
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/uid"
+	"repro/internal/xmltree"
+)
+
+// E1Figure1 regenerates Fig. 1 of the paper: the original UID enumeration
+// of the figure's tree before and after inserting a node between nodes 2
+// and 3, plus the full renumbering the second insertion forces.
+func E1Figure1() *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Original UID before/after node insertion",
+		Note:   "paper Fig. 1: nodes 3, 8, 9, 23, 26, 27 become 4, 11, 12, 32, 35, 36",
+		Header: []string{"node", "uid before", "uid after insert", "after 2nd insert (rebuild, k=4)"},
+	}
+	doc, labels := xmltree.PaperFigure1()
+	n, err := uid.Build(doc, uid.Options{K: 3})
+	if err != nil {
+		panic(err)
+	}
+	before := map[int64]string{}
+	for v, node := range labels {
+		id, _ := n.IDOf(node)
+		before[v] = id.String()
+	}
+	if _, err := n.InsertChild(labels[1], 1, xmltree.NewElement("new")); err != nil {
+		panic(err)
+	}
+	after := map[int64]string{}
+	for v, node := range labels {
+		id, _ := n.IDOf(node)
+		after[v] = id.String()
+	}
+	if _, err := n.InsertChild(labels[1], 3, xmltree.NewElement("new2")); err != nil {
+		panic(err)
+	}
+	for _, v := range []int64{1, 2, 3, 8, 9, 23, 26, 27} {
+		id, _ := n.IDOf(labels[v])
+		t.AddRow(fmt.Sprintf("n%d", v), before[v], after[v], id.String())
+	}
+	return t
+}
+
+// E2PaperExample regenerates Fig. 4/Fig. 5 and Example 2: the 2-level ruid
+// of the reconstructed example tree, its table K, and the three rparent()
+// walkthroughs.
+func E2PaperExample() (ids, tableK, walkthrough *Table) {
+	doc, nodes, rootNames := xmltree.PaperExampleTree()
+	roots := map[*xmltree.Node]bool{}
+	for _, name := range rootNames {
+		roots[nodes[name]] = true
+	}
+	n, err := core.Build(doc, core.Options{Roots: roots})
+	if err != nil {
+		panic(err)
+	}
+
+	ids = &Table{
+		ID:     "E2a",
+		Title:  "2-level ruid of the example tree",
+		Note:   "paper Fig. 4 (right): κ = 4, six UID-local areas",
+		Header: []string{"node", "ruid (global, local, root)"},
+	}
+	doc.DocumentElement().Walk(func(x *xmltree.Node) bool {
+		id, _ := n.RUID(x)
+		ids.AddRow(x.Name, id.String())
+		return true
+	})
+
+	tableK = &Table{
+		ID:     "E2b",
+		Title:  "Global parameter table K",
+		Note:   "paper Fig. 5: one row per UID-local area, sorted by global index",
+		Header: []string{"global index", "local index", "local fan-out"},
+	}
+	for _, row := range n.K() {
+		tableK.AddRow(row.Global, row.RootLocal, row.Fanout)
+	}
+
+	walkthrough = &Table{
+		ID:     "E2c",
+		Title:  "rparent() walkthroughs",
+		Note:   "paper Example 2: parent identifiers computed from κ and K only",
+		Header: []string{"child", "parent (computed)", "paper says"},
+	}
+	cases := []struct {
+		child core.ID
+		paper string
+	}{
+		{core.ID{Global: 2, Local: 7}, "(2, 3, false)"},
+		{core.ID{Global: 10, Local: 9, Root: true}, "(3, 3, false)"},
+		{core.ID{Global: 3, Local: 3}, "(3, 3, true)"},
+	}
+	for _, c := range cases {
+		p, _, err := n.RParent(c.child)
+		if err != nil {
+			panic(err)
+		}
+		walkthrough.AddRow(c.child.String(), p.String(), c.paper)
+	}
+	return ids, tableK, walkthrough
+}
+
+// E3IdentifierGrowth regenerates the §3.1/Observation-1 comparison:
+// identifier magnitude of the original UID (bits of the largest identifier,
+// whether it still fits a machine integer) against the ruid component
+// magnitudes, over the document suite plus a depth sweep on recursive
+// documents.
+func E3IdentifierGrowth() *Table {
+	t := &Table{
+		ID:    "E3",
+		Title: "Identifier magnitude: original UID vs 2-level ruid",
+		Note:  "§3.1 + Observation 1: UID grows as k^depth and overflows; ruid components stay machine-sized",
+		Header: []string{
+			"document", "nodes", "max fan-out", "depth",
+			"uid bits", "uid fits int64", "ruid areas", "ruid max global", "ruid max local",
+		},
+	}
+	addDoc := func(name string, doc *xmltree.Node) {
+		stats := xmltree.Measure(doc.DocumentElement())
+		un := BuildUID(doc)
+		rn := BuildRUID(doc)
+		t.AddRow(
+			name, stats.Nodes, stats.MaxFanout, stats.MaxDepth,
+			un.Bits(), fmt.Sprint(un.Bits() <= 63),
+			rn.AreaCount(), rn.MaxGlobalIndex(), rn.MaxLocalIndex(),
+		)
+	}
+	for _, d := range Suite() {
+		addDoc(d.Name, d.Make())
+	}
+	// Depth sweep: the recursion case Observation 1 singles out. Width 1
+	// keeps the node count linear in depth while the UID identifier
+	// magnitude still grows as k^depth (each section has three children:
+	// title, para, and the nested section).
+	for _, depth := range []int{4, 8, 16, 32, 64} {
+		addDoc(fmt.Sprintf("recursive-1x%d", depth), xmltree.Recursive(1, depth))
+	}
+	return t
+}
+
+// E3VirtualWaste quantifies the virtual-node padding of the original UID:
+// the identifier space consumed per real node.
+func E3VirtualWaste() *Table {
+	t := &Table{
+		ID:    "E3b",
+		Title: "Virtual-node waste of the original UID",
+		Note:  "§1: \"the UID technique may enumerate a number of virtual nodes\"",
+		Header: []string{
+			"document", "nodes", "uid max id (bits)", "ruid slots (largest area)",
+		},
+	}
+	for _, d := range Suite() {
+		doc := d.Make()
+		stats := xmltree.Measure(doc.DocumentElement())
+		un := BuildUID(doc)
+		rn := BuildRUID(doc)
+		t.AddRow(d.Name, stats.Nodes, un.Bits(), rn.MaxLocalIndex())
+	}
+	return t
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/xmltree"
+)
+
+// E7FrameAdjust regenerates the §2.3 fan-out adjustment: with a naive
+// partition the frame fan-out κ can exceed the source tree's maximal
+// fan-out; supplementing marked area roots (Fig. 7) brings it back within
+// the bound.
+func E7FrameAdjust() *Table {
+	t := &Table{
+		ID:    "E7",
+		Title: "Frame fan-out κ: naive partition vs §2.3 supplementation",
+		Note:  "paper Fig. 7: promoting a shared path node reroutes area roots below it",
+		Header: []string{
+			"document", "tree max fan-out", "κ naive", "κ adjusted", "areas naive", "areas adjusted",
+		},
+	}
+	for _, d := range Suite() {
+		doc := d.Make()
+		stats := xmltree.Measure(doc.DocumentElement())
+		for _, budget := range []int{8, 64} {
+			naive, err := core.Build(d.Make(), core.Options{
+				Partition: core.PartitionConfig{MaxAreaNodes: budget},
+			})
+			if err != nil {
+				panic(err)
+			}
+			adjusted, err := core.Build(d.Make(), core.Options{
+				Partition: core.PartitionConfig{MaxAreaNodes: budget, AdjustFanout: true},
+			})
+			if err != nil {
+				panic(err)
+			}
+			t.AddRow(
+				fmt.Sprintf("%s (budget %d)", d.Name, budget),
+				stats.MaxFanout, naive.Kappa(), adjusted.Kappa(),
+				naive.AreaCount(), adjusted.AreaCount(),
+			)
+		}
+	}
+	return t
+}
+
+// E8Multilevel regenerates §2.4: the number of levels the multilevel
+// construction needs as documents grow, with a deliberately tiny top-level
+// budget so the level mechanism engages on laptop-scale documents.
+func E8Multilevel() *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: "Multilevel ruid: levels vs document size",
+		Note:  "§2.4: \"in practice, this requires only a few levels to encode a large XML tree\"; capacity e^m (§3.1)",
+		Header: []string{
+			"document", "nodes", "areas (level 1)", "levels", "top-level areas",
+		},
+	}
+	docs := []Doc{
+		{"balanced-2x6", func() *xmltree.Node { return xmltree.Balanced(2, 6) }},
+		{"balanced-3x6", func() *xmltree.Node { return xmltree.Balanced(3, 6) }},
+		{"balanced-3x8", func() *xmltree.Node { return xmltree.Balanced(3, 8) }},
+		{"balanced-4x8", func() *xmltree.Node { return xmltree.Balanced(4, 8) }},
+		{"random-50k", func() *xmltree.Node {
+			return xmltree.Random(xmltree.RandomConfig{Nodes: 50000, MaxFanout: 8, Seed: 2})
+		}},
+	}
+	for _, d := range docs {
+		doc := d.Make()
+		ml, err := core.BuildMultilevel(doc, core.MLOptions{
+			Base:           core.Options{Partition: core.PartitionConfig{MaxAreaNodes: 16}},
+			FramePartition: core.PartitionConfig{MaxAreaNodes: 16},
+			MaxTopAreas:    16,
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(
+			d.Name, xmltree.CountNodes(doc.DocumentElement()),
+			ml.Base().AreaCount(), ml.NumLevels(), ml.TopAreaCount(),
+		)
+	}
+	return t
+}
+
+// E10TableSelection regenerates the §4 "database file/table selection"
+// comparison: point lookups through the (name, global index) decomposition
+// against a monolithic table, counting simulated page I/O.
+func E10TableSelection() *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "Cold page reads per name lookup: partitioned vs monolithic",
+		Note:  "§4: table names composed from the element name and the ruid global index",
+		Header: []string{
+			"document", "tables", "monolithic pages", "partitioned reads/lookup", "monolithic reads/lookup (name scan)",
+		},
+	}
+	for _, dn := range []string{"dblp-1k", "xmark-4"} {
+		var doc *xmltree.Node
+		for _, s := range Suite() {
+			if s.Name == dn {
+				doc = s.Make()
+			}
+		}
+		n := BuildRUID(doc)
+		root := doc.DocumentElement()
+
+		mono := storage.NewNodeStore(8)
+		if err := mono.Load(root, n, false); err != nil {
+			panic(err)
+		}
+		part := storage.NewPartitionedStore(8)
+		if err := part.Load(root, n); err != nil {
+			panic(err)
+		}
+
+		// Lookup workload: fetch each of 32 title elements by name+id.
+		var titles []*xmltree.Node
+		root.Walk(func(x *xmltree.Node) bool {
+			if x.Kind == xmltree.Element && (x.Name == "title" || x.Name == "name") && len(titles) < 32 {
+				titles = append(titles, x)
+			}
+			return true
+		})
+
+		part.DropCaches()
+		part.ResetStats()
+		for _, x := range titles {
+			id, _ := n.RUID(x)
+			if _, _, _, err := part.Lookup(x.Name, id); err != nil {
+				panic(err)
+			}
+		}
+		partReads := float64(part.TotalStats().Reads) / float64(len(titles))
+
+		// Monolithic: a name lookup without a name index is a relation scan
+		// that stops at the matching identifier.
+		mono.DropCache()
+		mono.ResetStats()
+		for _, x := range titles {
+			id, _ := n.RUID(x)
+			key := id.Key()
+			found := false
+			if err := mono.ScanRange(nil, nil, func(k []byte, r storage.Record) bool {
+				if string(k) == string(key) {
+					found = true
+					return false
+				}
+				return true
+			}); err != nil {
+				panic(err)
+			}
+			if !found {
+				panic("monolithic scan missed a row")
+			}
+		}
+		monoReads := float64(mono.Stats().Reads) / float64(len(titles))
+		t.AddRow(dn, part.Tables(), mono.Pages(),
+			fmt.Sprintf("%.1f", partReads), fmt.Sprintf("%.1f", monoReads))
+	}
+	return t
+}
+
+// All returns every experiment table in order, for cmd/ruidbench.
+func All() []*Table {
+	e2a, e2b, e2c := E2PaperExample()
+	return []*Table{
+		E1Figure1(),
+		e2a, e2b, e2c,
+		E3IdentifierGrowth(),
+		E3VirtualWaste(),
+		E4ParentComputation(),
+		E5QueryEvaluation(),
+		E6UpdateScope(),
+		E6Deletion(),
+		E6WorstCase(),
+		E6Churn(),
+		E7FrameAdjust(),
+		E8Multilevel(),
+		E9Axes(),
+		E10TableSelection(),
+		E11StructuralJoins(),
+		E11PathPipeline(),
+		E12StorageAxes(),
+		E13BudgetAblation(),
+		E14TwigMatching(),
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/uid"
+	"repro/internal/xmltree"
+)
+
+// Doc is one document of the standard experiment suite.
+type Doc struct {
+	Name string
+	Make func() *xmltree.Node
+}
+
+// Suite returns the standard document suite used across the experiments:
+// the topological extremes the paper's analysis singles out plus the three
+// corpus-shaped generators.
+func Suite() []Doc {
+	return []Doc{
+		{"balanced-3x6", func() *xmltree.Node { return xmltree.Balanced(3, 6) }},
+		{"linear-64", func() *xmltree.Node { return xmltree.Linear(64) }},
+		{"skewed-40x2", func() *xmltree.Node { return xmltree.Skewed(40, 2, 12) }},
+		{"recursive-2x10", func() *xmltree.Node { return xmltree.Recursive(2, 10) }},
+		{"dblp-1k", func() *xmltree.Node { return xmltree.DBLP(1000, 2) }},
+		{"xmark-4", func() *xmltree.Node { return xmltree.XMark(4, 2) }},
+		{"shakespeare", func() *xmltree.Node { return xmltree.Shakespeare(5, 5, 8) }},
+		{"random-5k", func() *xmltree.Node {
+			return xmltree.Random(xmltree.RandomConfig{Nodes: 5000, MaxFanout: 8, DepthBias: 0.4, Seed: 13})
+		}},
+	}
+}
+
+// DefaultPartition is the area budget used by the experiments unless a
+// sweep varies it.
+var DefaultPartition = core.PartitionConfig{MaxAreaNodes: 64, AdjustFanout: true}
+
+// BuildRUID builds the 2-level ruid of a document with the default
+// partition, panicking on error (suite documents are known-good).
+func BuildRUID(doc *xmltree.Node) *core.Numbering {
+	n, err := core.Build(doc, core.Options{Partition: DefaultPartition})
+	if err != nil {
+		panic(fmt.Sprintf("workload: ruid build: %v", err))
+	}
+	return n
+}
+
+// BuildUID builds the big-integer original UID of a document.
+func BuildUID(doc *xmltree.Node) *uid.Numbering {
+	n, err := uid.Build(doc, uid.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("workload: uid build: %v", err))
+	}
+	return n
+}

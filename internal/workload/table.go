@@ -1,0 +1,98 @@
+// Package workload is the experiment harness: it defines the standard
+// document suite, the query workloads, and one driver per experiment of
+// EXPERIMENTS.md (E1–E10), each producing a printable table. The drivers
+// are shared by cmd/ruidbench (human-readable regeneration of every
+// table/figure) and bench_test.go (testing.B measurements of the hot
+// loops).
+package workload
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	ID     string // experiment id, e.g. "E6"
+	Title  string
+	Note   string // provenance: which paper artifact this regenerates
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = formatDuration(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return d.String()
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "   (%s)\n", t.Note); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	underline := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		underline[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(underline, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// timeOp measures the mean latency of fn over enough iterations to be
+// stable (at least minIters, at least ~2ms of total work).
+func timeOp(minIters int, fn func()) time.Duration {
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < 2*time.Millisecond || iters < minIters {
+		fn()
+		iters++
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// fmtSscan is a tiny indirection over fmt.Sscan so tests can parse cells
+// without importing fmt themselves.
+func fmtSscan(s string, args ...any) (int, error) { return fmt.Sscan(s, args...) }

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTableRender checks table formatting.
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "EX", Title: "demo", Note: "note", Header: []string{"a", "b"}}
+	tb.AddRow("x", 1)
+	tb.AddRow(2.5, "y")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== EX: demo ==", "(note)", "a", "b", "x", "1", "2.50", "y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE1Figure1Values pins the experiment output against the published
+// figure values.
+func TestE1Figure1Values(t *testing.T) {
+	tb := E1Figure1()
+	want := map[string][2]string{
+		"n1":  {"1", "1"},
+		"n3":  {"3", "4"},
+		"n8":  {"8", "11"},
+		"n9":  {"9", "12"},
+		"n23": {"23", "32"},
+		"n26": {"26", "35"},
+		"n27": {"27", "36"},
+	}
+	for _, row := range tb.Rows {
+		if w, ok := want[row[0]]; ok {
+			if row[1] != w[0] || row[2] != w[1] {
+				t.Errorf("row %s = (%s, %s), want (%s, %s)", row[0], row[1], row[2], w[0], w[1])
+			}
+		}
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tb.Rows))
+	}
+}
+
+// TestE2Walkthrough checks the computed parents equal the paper column.
+func TestE2Walkthrough(t *testing.T) {
+	_, tableK, walk := E2PaperExample()
+	if len(tableK.Rows) != 6 {
+		t.Fatalf("K rows = %d, want 6", len(tableK.Rows))
+	}
+	for _, row := range walk.Rows {
+		if row[1] != row[2] {
+			t.Errorf("rparent(%s) = %s, paper says %s", row[0], row[1], row[2])
+		}
+	}
+}
+
+// TestE3Shapes checks the headline shape: on deep documents the original
+// UID needs more than 64 bits while the ruid components remain small.
+func TestE3Shapes(t *testing.T) {
+	tb := E3IdentifierGrowth()
+	overflowSeen := false
+	for _, row := range tb.Rows {
+		if row[5] == "false" { // uid fits int64 == false
+			overflowSeen = true
+		}
+	}
+	if !overflowSeen {
+		t.Fatalf("expected at least one document where the original UID overflows int64")
+	}
+}
+
+// TestE6Shapes checks the headline §3.2 shape: ruid relabels no more than
+// the UID at every measured depth, and strictly fewer in aggregate.
+func TestE6Shapes(t *testing.T) {
+	tb := E6UpdateScope()
+	var uidTotal, ruidTotal float64
+	for _, row := range tb.Rows {
+		u := parseF(t, row[2])
+		r := parseF(t, row[4])
+		uidTotal += u
+		ruidTotal += r
+	}
+	if ruidTotal >= uidTotal {
+		t.Fatalf("ruid total relabels %.1f not below uid %.1f", ruidTotal, uidTotal)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var f float64
+	if _, err := fmtSscan(s, &f); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}
+
+// TestE7Shapes checks that the §2.3 adjustment never leaves κ above the
+// tree's maximal fan-out.
+func TestE7Shapes(t *testing.T) {
+	tb := E7FrameAdjust()
+	for _, row := range tb.Rows {
+		var treeMax, kAdj float64
+		if _, err := fmtSscan(row[1], &treeMax); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[3], &kAdj); err != nil {
+			t.Fatal(err)
+		}
+		if kAdj > treeMax {
+			t.Errorf("%s: adjusted κ %.0f exceeds tree fan-out %.0f", row[0], kAdj, treeMax)
+		}
+	}
+}
+
+// TestE10Shapes checks the §4 shape: partitioned lookups read far fewer
+// pages than monolithic name scans.
+func TestE10Shapes(t *testing.T) {
+	tb := E10TableSelection()
+	for _, row := range tb.Rows {
+		part := parseF(t, row[3])
+		mono := parseF(t, row[4])
+		if part >= mono {
+			t.Errorf("%s: partitioned reads %.1f not below monolithic %.1f", row[0], part, mono)
+		}
+	}
+}
+
+// TestE6WorstCaseShape checks the overflow contrast: the UID rebuild
+// relabels (much) more than the ruid area rebuild.
+func TestE6WorstCaseShape(t *testing.T) {
+	tb := E6WorstCase()
+	for _, row := range tb.Rows {
+		u := parseF(t, row[2])
+		r := parseF(t, row[3])
+		if r >= u {
+			t.Errorf("%s: ruid overflow relabels %.0f not below uid %.0f", row[0], r, u)
+		}
+	}
+}
+
+// TestE8Shape checks that the multilevel construction reaches its top-size
+// bound.
+func TestE8Shape(t *testing.T) {
+	tb := E8Multilevel()
+	for _, row := range tb.Rows {
+		top := parseF(t, row[4])
+		if top > 16 {
+			t.Errorf("%s: top-level areas %.0f exceed the bound 16", row[0], top)
+		}
+	}
+}
+
+// TestE11Shapes: every join row has pairs and the strategies were timed;
+// the path pipeline agrees with navigation (checked inside the driver via
+// panic) and returns nonzero results.
+func TestE11Shapes(t *testing.T) {
+	tb := E11StructuralJoins()
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tb.Rows {
+		if row[4] == "0" && row[1] != "title//para" {
+			t.Errorf("%s %s: zero pairs", row[0], row[1])
+		}
+	}
+	tp := E11PathPipeline()
+	for _, row := range tp.Rows {
+		if row[2] == "0" {
+			t.Errorf("%s %s: zero results", row[0], row[1])
+		}
+	}
+}
+
+// TestE12Shapes: identifier-directed operations read far fewer cold pages
+// than full scans.
+func TestE12Shapes(t *testing.T) {
+	tb := E12StorageAxes()
+	perDoc := map[string]map[string]float64{}
+	for _, row := range tb.Rows {
+		if perDoc[row[0]] == nil {
+			perDoc[row[0]] = map[string]float64{}
+		}
+		perDoc[row[0]][row[1]] = parseF(t, row[3])
+	}
+	for doc, ops := range perDoc {
+		if ops["ruid children (range scan)"] >= ops["full scan"] {
+			t.Errorf("%s: children scan not cheaper than full scan: %v", doc, ops)
+		}
+		if ops["ruid parent (point probe)"] >= ops["full scan"] {
+			t.Errorf("%s: parent probe not cheaper than full scan: %v", doc, ops)
+		}
+	}
+}
+
+// TestE14Shapes: the twig matcher agrees with navigation (enforced inside
+// the driver) and the planner picks the identifier plan on every measured
+// pattern.
+func TestE14Shapes(t *testing.T) {
+	tb := E14TwigMatching()
+	for _, row := range tb.Rows {
+		if row[5] != "twig" {
+			t.Errorf("%s %s: planner picked %s", row[0], row[1], row[5])
+		}
+	}
+}
+
+// TestE13Shapes: rparent latency is flat across budgets (within an order of
+// magnitude) and small budgets bound local indices tightly.
+func TestE13Shapes(t *testing.T) {
+	tb := E13BudgetAblation()
+	var smallLocal, bigLocal float64
+	for i, row := range tb.Rows {
+		if i == 0 {
+			smallLocal = parseF(t, row[4])
+		}
+		if i == len(tb.Rows)-1 {
+			bigLocal = parseF(t, row[4])
+		}
+	}
+	if smallLocal >= bigLocal {
+		t.Errorf("local index magnitude did not grow with budget: %f vs %f", smallLocal, bigLocal)
+	}
+}

@@ -1,0 +1,364 @@
+// Package xmltree provides the XML document substrate used by every
+// numbering scheme in this repository: a mutable DOM-like node tree, a parser
+// built on encoding/xml, a serializer, ground-truth structural predicates
+// (parent, ancestor, document order), tree statistics, and deterministic
+// synthetic document generators.
+//
+// The numbering schemes in internal/uid, internal/prepost and internal/core
+// operate on *Node trees and are validated against the pointer-based ground
+// truth defined here.
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the type of a Node.
+type Kind uint8
+
+// Node kinds. Document is the virtual root produced by Parse; an XML tree
+// always has exactly one Document node at the top with the root element as a
+// child (possibly surrounded by comments and processing instructions).
+const (
+	Document Kind = iota
+	Element
+	Text
+	Comment
+	ProcInst
+	Attribute
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Document:
+		return "document"
+	case Element:
+		return "element"
+	case Text:
+		return "text"
+	case Comment:
+		return "comment"
+	case ProcInst:
+		return "procinst"
+	case Attribute:
+		return "attribute"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Node is a node of an XML tree. The zero value is not useful; create nodes
+// with the NewX constructors or by parsing.
+//
+// Attributes are kept on a separate list (Attrs) as in the XPath data model,
+// but StructuralChildren exposes them before the regular children so that
+// numbering schemes can enumerate "all components of XML document trees"
+// (paper §4) when configured to do so.
+type Node struct {
+	Kind     Kind
+	Name     string  // element name, attribute name or PI target
+	Data     string  // text content, comment text, attribute value or PI data
+	Parent   *Node   // nil for the document node
+	Children []*Node // element and document nodes only
+	Attrs    []*Node // element nodes only; each has Kind == Attribute
+}
+
+// NewDocument returns an empty document node.
+func NewDocument() *Node { return &Node{Kind: Document} }
+
+// NewElement returns a detached element node with the given name.
+func NewElement(name string) *Node { return &Node{Kind: Element, Name: name} }
+
+// NewText returns a detached text node.
+func NewText(data string) *Node { return &Node{Kind: Text, Data: data} }
+
+// NewComment returns a detached comment node.
+func NewComment(data string) *Node { return &Node{Kind: Comment, Data: data} }
+
+// NewProcInst returns a detached processing-instruction node.
+func NewProcInst(target, data string) *Node {
+	return &Node{Kind: ProcInst, Name: target, Data: data}
+}
+
+// SetAttr sets (or replaces) an attribute on an element and returns the
+// attribute node. It panics if n is not an element.
+func (n *Node) SetAttr(name, value string) *Node {
+	if n.Kind != Element {
+		panic("xmltree: SetAttr on non-element node")
+	}
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			a.Data = value
+			return a
+		}
+	}
+	a := &Node{Kind: Attribute, Name: name, Data: value, Parent: n}
+	n.Attrs = append(n.Attrs, a)
+	return a
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Data, true
+		}
+	}
+	return "", false
+}
+
+// AppendChild attaches c as the last child of n. It panics if c already has a
+// parent or if n cannot hold children.
+func (n *Node) AppendChild(c *Node) {
+	n.InsertChildAt(len(n.Children), c)
+}
+
+// InsertChildAt inserts c so that it becomes the child at position i
+// (0-based) of n, shifting later siblings right. It panics if c already has
+// a parent, if i is out of range, or if n cannot hold children.
+func (n *Node) InsertChildAt(i int, c *Node) {
+	if n.Kind != Element && n.Kind != Document {
+		panic("xmltree: insert child into " + n.Kind.String() + " node")
+	}
+	if c.Parent != nil {
+		panic("xmltree: node already has a parent")
+	}
+	if c.Kind == Attribute || c.Kind == Document {
+		panic("xmltree: cannot insert " + c.Kind.String() + " node as child")
+	}
+	if i < 0 || i > len(n.Children) {
+		panic("xmltree: insert position out of range")
+	}
+	c.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+}
+
+// RemoveChild detaches the child at position i and returns it. The removal
+// is cascading in the sense of the paper (§3.2): the whole subtree rooted at
+// the child leaves the document.
+func (n *Node) RemoveChild(i int) *Node {
+	if i < 0 || i >= len(n.Children) {
+		panic("xmltree: remove position out of range")
+	}
+	c := n.Children[i]
+	copy(n.Children[i:], n.Children[i+1:])
+	n.Children = n.Children[:len(n.Children)-1]
+	c.Parent = nil
+	return c
+}
+
+// Detach removes n from its parent. It is a no-op for parentless nodes.
+func (n *Node) Detach() {
+	p := n.Parent
+	if p == nil {
+		return
+	}
+	if n.Kind == Attribute {
+		for i, a := range p.Attrs {
+			if a == n {
+				copy(p.Attrs[i:], p.Attrs[i+1:])
+				p.Attrs = p.Attrs[:len(p.Attrs)-1]
+				n.Parent = nil
+				return
+			}
+		}
+		panic("xmltree: attribute not found on its parent")
+	}
+	p.RemoveChild(n.Index())
+}
+
+// Index returns the position of n among its parent's children (or among its
+// parent's attributes for attribute nodes). It panics for parentless nodes.
+func (n *Node) Index() int {
+	p := n.Parent
+	if p == nil {
+		panic("xmltree: Index of parentless node")
+	}
+	list := p.Children
+	if n.Kind == Attribute {
+		list = p.Attrs
+	}
+	for i, c := range list {
+		if c == n {
+			return i
+		}
+	}
+	panic("xmltree: node not found among its parent's children")
+}
+
+// Root returns the topmost ancestor of n (n itself if parentless).
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Depth returns the number of edges from n to its root; the root has depth 0.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// DocumentElement returns the first element child of a document node, or nil.
+func (n *Node) DocumentElement() *Node {
+	for _, c := range n.Children {
+		if c.Kind == Element {
+			return c
+		}
+	}
+	return nil
+}
+
+// StructuralChildren returns the children of n as seen by a numbering scheme
+// that enumerates every component of the document: attributes first (in
+// definition order), then regular children. The returned slice must not be
+// modified.
+func (n *Node) StructuralChildren(withAttrs bool) []*Node {
+	if !withAttrs || len(n.Attrs) == 0 {
+		return n.Children
+	}
+	out := make([]*Node, 0, len(n.Attrs)+len(n.Children))
+	out = append(out, n.Attrs...)
+	out = append(out, n.Children...)
+	return out
+}
+
+// FirstChildElement returns the first child element with the given name
+// ("" matches any element), or nil.
+func (n *Node) FirstChildElement(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == Element && (name == "" || c.Name == name) {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildElements returns all child elements with the given name ("" matches
+// any element).
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == Element && (name == "" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Texts returns the concatenation of all descendant text node data, the
+// XPath string-value of an element.
+func (n *Node) Texts() string {
+	if n.Kind == Text || n.Kind == Attribute || n.Kind == Comment {
+		return n.Data
+	}
+	var b strings.Builder
+	n.Walk(func(d *Node) bool {
+		if d.Kind == Text {
+			b.WriteString(d.Data)
+		}
+		return true
+	})
+	return b.String()
+}
+
+// Walk visits n and every descendant in preorder (document order),
+// excluding attributes. If fn returns false the subtree below the visited
+// node is skipped (the walk continues with the following node).
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// WalkFull visits n and every descendant in document order, including
+// attribute nodes (visited directly after their element, before its
+// children). If fn returns false the subtree below the visited node is
+// skipped.
+func (n *Node) WalkFull(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, a := range n.Attrs {
+		fn(a)
+	}
+	for _, c := range n.Children {
+		c.WalkFull(fn)
+	}
+}
+
+// Nodes returns n and all its descendants in document order, excluding
+// attributes.
+func (n *Node) Nodes() []*Node {
+	var out []*Node
+	n.Walk(func(d *Node) bool {
+		out = append(out, d)
+		return true
+	})
+	return out
+}
+
+// Elements returns every descendant-or-self element of n in document order.
+func (n *Node) Elements() []*Node {
+	var out []*Node
+	n.Walk(func(d *Node) bool {
+		if d.Kind == Element {
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The copy is
+// detached (its Parent is nil).
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	for _, a := range n.Attrs {
+		ac := &Node{Kind: Attribute, Name: a.Name, Data: a.Data, Parent: c}
+		c.Attrs = append(c.Attrs, ac)
+	}
+	for _, ch := range n.Children {
+		cc := ch.Clone()
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// Path returns a human-readable slash path from the root to n, for error
+// messages and debugging (e.g. "/doc[0]/section[2]/title[0]").
+func (n *Node) Path() string {
+	if n.Parent == nil {
+		return "/"
+	}
+	var parts []string
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		label := cur.Name
+		if label == "" {
+			label = cur.Kind.String()
+		}
+		if cur.Kind == Attribute {
+			parts = append(parts, "@"+label)
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s[%d]", label, cur.Index()))
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}

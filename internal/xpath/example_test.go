@@ -1,0 +1,38 @@
+package xpath_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// ExampleEngine_Query evaluates location paths with ruid-driven axes.
+func ExampleEngine_Query() {
+	doc, _ := xmltree.ParseString(
+		`<lib><book y="2001"><t>A</t></book><book y="1999"><t>B</t></book></lib>`)
+	n, _ := core.Build(doc, core.Options{})
+	e := xpath.NewEngine(doc, xpath.SchemeNavigator{S: n})
+
+	res, _ := e.Query("/lib/book[@y > 2000]/t")
+	for _, x := range res {
+		fmt.Println(x.Texts())
+	}
+	res, _ = e.Query("//t[. = 'B'] | //book[1]")
+	for _, x := range res {
+		fmt.Println(x.Name)
+	}
+	// Output:
+	// A
+	// book
+	// t
+}
+
+// ExampleParse shows the unabbreviated rendering of a parsed path.
+func ExampleParse() {
+	p, _ := xpath.Parse("//book[@y='2001']/t[1]")
+	fmt.Println(p)
+	// Output:
+	// /descendant-or-self::node()/child::book[attribute::y = '2001']/child::t[1]
+}

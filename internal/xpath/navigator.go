@@ -1,0 +1,158 @@
+package xpath
+
+import (
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// PointerNavigator provides the axes by direct pointer navigation over the
+// xmltree ground truth. It is the reference the scheme-driven navigator is
+// validated against, and the "scan the tree" baseline in the benchmarks.
+type PointerNavigator struct{}
+
+// Name implements Navigator.
+func (PointerNavigator) Name() string { return "pointer" }
+
+// Children implements Navigator.
+func (PointerNavigator) Children(n *xmltree.Node) []*xmltree.Node { return n.Children }
+
+// Parent implements Navigator; the synthetic Document node does not count.
+func (PointerNavigator) Parent(n *xmltree.Node) (*xmltree.Node, bool) {
+	if n.Parent == nil || n.Parent.Kind == xmltree.Document {
+		return nil, false
+	}
+	return n.Parent, true
+}
+
+// Descendants implements Navigator.
+func (PointerNavigator) Descendants(n *xmltree.Node) []*xmltree.Node {
+	return xmltree.Descendants(n)
+}
+
+// Ancestors implements Navigator.
+func (PointerNavigator) Ancestors(n *xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	for p := n.Parent; p != nil && p.Kind != xmltree.Document; p = p.Parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// FollowingSiblings implements Navigator.
+func (PointerNavigator) FollowingSiblings(n *xmltree.Node) []*xmltree.Node {
+	return xmltree.FollowingSiblings(n)
+}
+
+// PrecedingSiblings implements Navigator.
+func (PointerNavigator) PrecedingSiblings(n *xmltree.Node) []*xmltree.Node {
+	return xmltree.PrecedingSiblings(n)
+}
+
+// Following implements Navigator.
+func (PointerNavigator) Following(n *xmltree.Node) []*xmltree.Node {
+	return xmltree.Following(n)
+}
+
+// Preceding implements Navigator.
+func (PointerNavigator) Preceding(n *xmltree.Node) []*xmltree.Node {
+	return xmltree.Preceding(n)
+}
+
+// SchemeNavigator adapts a numbering scheme's identifier-arithmetic axes
+// (scheme.AxisScheme) to the Navigator interface: every axis request maps
+// the node to its identifier, generates the axis by arithmetic plus index
+// range scans, and resolves the resulting identifiers back to nodes.
+type SchemeNavigator struct {
+	S scheme.AxisScheme
+}
+
+// Name implements Navigator.
+func (v SchemeNavigator) Name() string { return v.S.Name() }
+
+func (v SchemeNavigator) resolve(ids []scheme.ID) []*xmltree.Node {
+	out := make([]*xmltree.Node, 0, len(ids))
+	for _, id := range ids {
+		if n, ok := v.S.NodeOf(id); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (v SchemeNavigator) idOf(n *xmltree.Node) (scheme.ID, bool) { return v.S.IDOf(n) }
+
+// Children implements Navigator.
+func (v SchemeNavigator) Children(n *xmltree.Node) []*xmltree.Node {
+	id, ok := v.idOf(n)
+	if !ok {
+		return nil
+	}
+	return v.resolve(v.S.Children(id))
+}
+
+// Parent implements Navigator.
+func (v SchemeNavigator) Parent(n *xmltree.Node) (*xmltree.Node, bool) {
+	id, ok := v.idOf(n)
+	if !ok {
+		return nil, false
+	}
+	pid, ok := v.S.Parent(id)
+	if !ok {
+		return nil, false
+	}
+	return v.S.NodeOf(pid)
+}
+
+// Descendants implements Navigator.
+func (v SchemeNavigator) Descendants(n *xmltree.Node) []*xmltree.Node {
+	id, ok := v.idOf(n)
+	if !ok {
+		return nil
+	}
+	return v.resolve(v.S.Descendants(id))
+}
+
+// Ancestors implements Navigator.
+func (v SchemeNavigator) Ancestors(n *xmltree.Node) []*xmltree.Node {
+	id, ok := v.idOf(n)
+	if !ok {
+		return nil
+	}
+	return v.resolve(v.S.Ancestors(id))
+}
+
+// FollowingSiblings implements Navigator.
+func (v SchemeNavigator) FollowingSiblings(n *xmltree.Node) []*xmltree.Node {
+	id, ok := v.idOf(n)
+	if !ok {
+		return nil
+	}
+	return v.resolve(v.S.FollowingSiblings(id))
+}
+
+// PrecedingSiblings implements Navigator.
+func (v SchemeNavigator) PrecedingSiblings(n *xmltree.Node) []*xmltree.Node {
+	id, ok := v.idOf(n)
+	if !ok {
+		return nil
+	}
+	return v.resolve(v.S.PrecedingSiblings(id))
+}
+
+// Following implements Navigator.
+func (v SchemeNavigator) Following(n *xmltree.Node) []*xmltree.Node {
+	id, ok := v.idOf(n)
+	if !ok {
+		return nil
+	}
+	return v.resolve(v.S.Following(id))
+}
+
+// Preceding implements Navigator.
+func (v SchemeNavigator) Preceding(n *xmltree.Node) []*xmltree.Node {
+	id, ok := v.idOf(n)
+	if !ok {
+		return nil
+	}
+	return v.resolve(v.S.Preceding(id))
+}

@@ -1,0 +1,384 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a location path written in abbreviated or unabbreviated
+// XPath syntax.
+func Parse(src string) (Path, error) {
+	p := &parser{src: src}
+	path, err := p.parsePath()
+	if err != nil {
+		return Path{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return Path{}, p.errorf("trailing input %q", p.src[p.pos:])
+	}
+	return path, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed queries.
+func MustParse(src string) Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("xpath: position %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) eat(prefix string) bool {
+	if strings.HasPrefix(p.src[p.pos:], prefix) {
+		p.pos += len(prefix)
+		return true
+	}
+	return false
+}
+
+// descendantOrSelfStep is the expansion of "//".
+func descendantOrSelfStep() Step {
+	return Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode}}
+}
+
+func (p *parser) parsePath() (Path, error) {
+	var path Path
+	p.skipSpace()
+	switch {
+	case p.eat("//"):
+		path.Absolute = true
+		path.Steps = append(path.Steps, descendantOrSelfStep())
+	case p.eat("/"):
+		path.Absolute = true
+		p.skipSpace()
+		if p.pos == len(p.src) {
+			return path, nil // bare "/" selects the root
+		}
+	}
+	for {
+		step, err := p.parseStep()
+		if err != nil {
+			return Path{}, err
+		}
+		path.Steps = append(path.Steps, step)
+		p.skipSpace()
+		if p.eat("//") {
+			path.Steps = append(path.Steps, descendantOrSelfStep())
+			continue
+		}
+		if p.eat("/") {
+			continue
+		}
+		return path, nil
+	}
+}
+
+func (p *parser) parseStep() (Step, error) {
+	p.skipSpace()
+	// Abbreviations.
+	if p.eat("..") {
+		return Step{Axis: AxisParent, Test: NodeTest{Kind: TestNode}}, nil
+	}
+	if p.peek() == '.' && !strings.HasPrefix(p.src[p.pos:], "..") {
+		p.pos++
+		return Step{Axis: AxisSelf, Test: NodeTest{Kind: TestNode}}, nil
+	}
+	step := Step{Axis: AxisChild}
+	if p.eat("@") {
+		step.Axis = AxisAttribute
+	} else if name, ok := p.peekName(); ok {
+		if strings.HasPrefix(p.src[p.pos+len(name):], "::") {
+			axis, known := axisByName[name]
+			if !known {
+				return Step{}, p.errorf("unknown axis %q", name)
+			}
+			p.pos += len(name) + 2
+			step.Axis = axis
+		}
+	}
+	test, err := p.parseNodeTest()
+	if err != nil {
+		return Step{}, err
+	}
+	step.Test = test
+	for {
+		p.skipSpace()
+		if !p.eat("[") {
+			return step, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return Step{}, err
+		}
+		p.skipSpace()
+		if !p.eat("]") {
+			return Step{}, p.errorf("expected ']'")
+		}
+		step.Predicates = append(step.Predicates, e)
+	}
+}
+
+func (p *parser) parseNodeTest() (NodeTest, error) {
+	p.skipSpace()
+	if p.eat("*") {
+		return NodeTest{Kind: TestName, Name: "*"}, nil
+	}
+	name, ok := p.peekName()
+	if !ok {
+		return NodeTest{}, p.errorf("expected node test")
+	}
+	p.pos += len(name)
+	if p.eat("()") {
+		switch name {
+		case "node":
+			return NodeTest{Kind: TestNode}, nil
+		case "text":
+			return NodeTest{Kind: TestText}, nil
+		case "comment":
+			return NodeTest{Kind: TestComment}, nil
+		default:
+			return NodeTest{}, p.errorf("unknown node type test %q", name)
+		}
+	}
+	return NodeTest{Kind: TestName, Name: name}, nil
+}
+
+func (p *parser) peekName() (string, bool) {
+	i := p.pos
+	for i < len(p.src) && isNameByte(p.src[i], i == p.pos) {
+		i++
+	}
+	if i == p.pos {
+		return "", false
+	}
+	return p.src[p.pos:i], true
+}
+
+func isNameByte(b byte, first bool) bool {
+	r := rune(b)
+	if unicode.IsLetter(r) || b == '_' {
+		return true
+	}
+	if first {
+		return false
+	}
+	return unicode.IsDigit(r) || b == '-' || b == '.'
+}
+
+// Expression grammar (lowest to highest precedence):
+//
+//	Expr    ::= AndExpr ('or' AndExpr)*
+//	AndExpr ::= CmpExpr ('and' CmpExpr)*
+//	CmpExpr ::= Primary (('=' | '!=' | '<=' | '<' | '>=' | '>') Primary)?
+//	Primary ::= Number | Literal | FuncCall | '(' Expr ')' | RelativePath
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !p.eatWord("or") {
+			return left, nil
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: "or", L: left, R: right}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !p.eatWord("and") {
+			return left, nil
+		}
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: "and", L: left, R: right}
+	}
+}
+
+// eatWord consumes word only when it is followed by a non-name byte, so
+// that an element named "orders" is not read as the operator "or".
+func (p *parser) eatWord(word string) bool {
+	if !strings.HasPrefix(p.src[p.pos:], word) {
+		return false
+	}
+	rest := p.src[p.pos+len(word):]
+	if rest != "" && isNameByte(rest[0], false) {
+		return false
+	}
+	p.pos += len(word)
+	return true
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if p.eat(op) {
+			right, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.eat(")") {
+			return nil, p.errorf("expected ')'")
+		}
+		if b, ok := e.(Binary); ok {
+			b.Paren = true
+			return b, nil
+		}
+		return e, nil
+	case c == '\'' || c == '"':
+		quote := c
+		p.pos++
+		end := strings.IndexByte(p.src[p.pos:], quote)
+		if end < 0 {
+			return nil, p.errorf("unterminated string literal")
+		}
+		lit := StringLit(p.src[p.pos : p.pos+end])
+		p.pos += end + 1
+		return lit, nil
+	case c >= '0' && c <= '9':
+		i := p.pos
+		for i < len(p.src) && (p.src[i] >= '0' && p.src[i] <= '9' || p.src[i] == '.') {
+			i++
+		}
+		f, err := strconv.ParseFloat(p.src[p.pos:i], 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", p.src[p.pos:i])
+		}
+		p.pos = i
+		return NumberLit(f), nil
+	}
+	// Function call?
+	if name, ok := p.peekName(); ok {
+		rest := p.src[p.pos+len(name):]
+		if strings.HasPrefix(rest, "(") {
+			p.pos += len(name) + 1
+			call := FuncCall{Name: name}
+			p.skipSpace()
+			if !p.eat(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					p.skipSpace()
+					if p.eat(",") {
+						continue
+					}
+					if p.eat(")") {
+						break
+					}
+					return nil, p.errorf("expected ',' or ')' in %s()", name)
+				}
+			}
+			switch call.Name {
+			case "position", "last", "count", "name", "not", "contains", "string-length":
+			default:
+				return nil, p.errorf("unsupported function %q", call.Name)
+			}
+			return call, nil
+		}
+	}
+	// Relative path expression ('.', '..', '@x', 'name/...', axis::...).
+	start := p.pos
+	var path Path
+	for {
+		step, err := p.parseStep()
+		if err != nil {
+			if len(path.Steps) == 0 {
+				p.pos = start
+				return nil, p.errorf("expected expression")
+			}
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		if p.eat("//") {
+			path.Steps = append(path.Steps, descendantOrSelfStep())
+			continue
+		}
+		if p.eat("/") {
+			continue
+		}
+		return PathExpr{Path: path}, nil
+	}
+}
+
+// ParseUnion parses a union expression: one or more location paths joined
+// by '|'. A single path yields a one-element slice.
+func ParseUnion(src string) ([]Path, error) {
+	p := &parser{src: src}
+	var paths []Path
+	for {
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+		p.skipSpace()
+		if p.eat("|") {
+			continue
+		}
+		if p.pos != len(p.src) {
+			return nil, p.errorf("trailing input %q", p.src[p.pos:])
+		}
+		return paths, nil
+	}
+}

@@ -1,0 +1,89 @@
+package xpath
+
+import "testing"
+
+// TestParseRender checks parsing by rendering back to unabbreviated syntax.
+func TestParseRender(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/a/b", "/child::a/child::b"},
+		{"a", "child::a"},
+		{"//b", "/descendant-or-self::node()/child::b"},
+		{"a//b", "child::a/descendant-or-self::node()/child::b"},
+		{"/a/*", "/child::a/child::*"},
+		{"@id", "attribute::id"},
+		{"a/@id", "child::a/attribute::id"},
+		{".", "self::node()"},
+		{"..", "parent::node()"},
+		{"a/..", "child::a/parent::node()"},
+		{"ancestor::a", "ancestor::a"},
+		{"following-sibling::*", "following-sibling::*"},
+		{"preceding::x", "preceding::x"},
+		{"a/text()", "child::a/child::text()"},
+		{"comment()", "child::comment()"},
+		{"node()", "child::node()"},
+		{"a[1]", "child::a[1]"},
+		{"a[last()]", "child::a[last()]"},
+		{"a[position() = 2]", "child::a[position() = 2]"},
+		{"a[@id='x']", "child::a[attribute::id = 'x']"},
+		{"a[b]", "child::a[child::b]"},
+		{"a[b/c = 'v']", "child::a[child::b/child::c = 'v']"},
+		{"a[b and @c]", "child::a[child::b and attribute::c]"},
+		{"a[b or c]", "child::a[child::b or child::c]"},
+		{"a[not(b)]", "child::a[not(child::b)]"},
+		{"a[count(b) > 2]", "child::a[count(child::b) > 2]"},
+		{"a[contains(., 'x')]", "child::a[contains(self::node(), 'x')]"},
+		{"/", "/"},
+		{"descendant::a[2]", "descendant::a[2]"},
+		{"a[1][@x]", "child::a[1][attribute::x]"},
+		{`a[@y != "n"]`, "child::a[attribute::y != 'n']"},
+		{"element_1/*/element_2", "child::element_1/child::*/child::element_2"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("Parse(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "/a[", "/a]", "a[]", "a[1", "a['x]", "bogus::a", "a[f(1)]",
+		"a[1 +]", "a b", "a[", "text(", "a[..='x' or]",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+// TestWordOperators ensures name-like operators are tokenized by word
+// boundary: an element named "orders" must not parse as "or"+"ders".
+func TestWordOperators(t *testing.T) {
+	p, err := Parse("a[orders and android]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "child::a[child::orders and child::android]"
+	if p.String() != want {
+		t.Fatalf("got %q, want %q", p.String(), want)
+	}
+}
+
+// TestAxisReverse pins the XPath reverse-axis classification.
+func TestAxisReverse(t *testing.T) {
+	reverse := map[Axis]bool{
+		AxisParent: true, AxisAncestor: true, AxisAncestorOrSelf: true,
+		AxisPrecedingSibling: true, AxisPreceding: true,
+	}
+	for a := AxisChild; a <= AxisAttribute; a++ {
+		if got := a.Reverse(); got != reverse[a] {
+			t.Errorf("%s.Reverse() = %v", a, got)
+		}
+	}
+}
