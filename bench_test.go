@@ -434,6 +434,86 @@ func BenchmarkE11StructuralJoin(b *testing.B) {
 	})
 }
 
+// BenchmarkUpwardJoin compares the generic interface join (scheme.ID
+// boxing, per-probe Key() allocation) with the concrete-core.ID fast path
+// on identical inputs. Run with -benchmem: the fast path's allocs/op is the
+// point.
+func BenchmarkUpwardJoin(b *testing.B) {
+	doc := xmltree.Recursive(2, 9)
+	rn := workload.BuildRUID(doc)
+	ix := index.Build(doc.DocumentElement(), rn)
+	ancs, descs := ix.RuidIDs("section"), ix.RuidIDs("title")
+	bAncs, bDescs := ix.IDs("section"), ix.IDs("title")
+
+	b.Run("interface", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += len(index.UpwardJoin(rn, bAncs, bDescs))
+		}
+	})
+	b.Run("fastpath", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += len(index.UpwardJoinRUID(rn, ancs, descs))
+		}
+	})
+	b.Run("interface-semi", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += len(index.UpwardSemiJoin(rn, bAncs, bDescs))
+		}
+	})
+	b.Run("fastpath-semi", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += len(index.UpwardSemiJoinRUID(rn, ancs, descs))
+		}
+	})
+}
+
+// BenchmarkAxisGeneration compares boxed axis generation (the AxisScheme
+// interface) with the concrete buffer-append forms that the fast paths use.
+func BenchmarkAxisGeneration(b *testing.B) {
+	doc := xmltree.XMark(2, 2)
+	rn := workload.BuildRUID(doc)
+	nodes := doc.DocumentElement().Nodes()
+	rng := rand.New(rand.NewSource(9))
+	ids := make([]core.ID, 128)
+	boxed := make([]scheme.ID, 128)
+	for i := range ids {
+		id, _ := rn.RUID(nodes[rng.Intn(len(nodes))])
+		ids[i] = id
+		boxed[i] = id
+	}
+
+	axes := []struct {
+		name     string
+		boxedFn  func(scheme.ID) []scheme.ID
+		concrete func([]core.ID, core.ID) []core.ID
+	}{
+		{"children", rn.Children, rn.AppendChildren},
+		{"descendants", rn.Descendants, rn.AppendDescendants},
+		{"following", rn.Following, rn.AppendFollowing},
+	}
+	for _, ax := range axes {
+		ax := ax
+		b.Run("interface/"+ax.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink += len(ax.boxedFn(boxed[i%len(boxed)]))
+			}
+		})
+		b.Run("fastpath/"+ax.name, func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]core.ID, 0, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSink += len(ax.concrete(buf[:0], ids[i%len(ids)]))
+			}
+		})
+	}
+}
+
 // BenchmarkE12StorageAxes measures identifier-directed storage access:
 // a children range scan plus row fetches, and a computed-parent point
 // probe, against the clustered index (extension E12).

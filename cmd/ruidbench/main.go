@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	ruidbench [-list] [E1 E2 E3 ...]
+//	ruidbench [-list] [-json] [E1 E2 E3 ...]
+//
+// With -json the command instead measures the identifier hot paths (joins,
+// RParent, axis generation; interface path vs concrete fast path) and
+// prints machine-readable results — the format committed as
+// BENCH_baseline.json.
 package main
 
 import (
@@ -18,11 +23,20 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonOut := flag.Bool("json", false, "run the hot-path microbenchmarks and print JSON")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ruidbench [-list] [experiment ids...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ruidbench [-list] [-json] [experiment ids...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *jsonOut {
+		if err := runMicrobench(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ruidbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	tables := workload.All()
 	if *list {

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// microResult is one row of the -json output. The fields mirror what
+// `go test -benchmem` prints, so baselines diff cleanly against test runs.
+type microResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+var microSink int
+
+// runMicrobench measures the identifier hot paths — structural joins,
+// RParent arithmetic and axis generation, each on both the generic
+// scheme.ID interface path and the concrete core.ID fast path — and writes
+// one JSON array. This is the machine-readable baseline behind
+// BENCH_baseline.json.
+func runMicrobench(out io.Writer) error {
+	doc := xmltree.Recursive(2, 9)
+	rn := workload.BuildRUID(doc)
+	ix := index.Build(doc.DocumentElement(), rn)
+	ancs, descs := ix.RuidIDs("section"), ix.RuidIDs("title")
+	bAncs, bDescs := ix.IDs("section"), ix.IDs("title")
+
+	axisDoc := xmltree.XMark(2, 2)
+	an := workload.BuildRUID(axisDoc)
+	nodes := axisDoc.DocumentElement().Nodes()
+	rng := rand.New(rand.NewSource(9))
+	ids := make([]core.ID, 128)
+	for i := range ids {
+		ids[i], _ = an.RUID(nodes[rng.Intn(len(nodes))])
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"upward_join/interface", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(index.UpwardJoin(rn, bAncs, bDescs))
+			}
+		}},
+		{"upward_join/fastpath", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(index.UpwardJoinRUID(rn, ancs, descs))
+			}
+		}},
+		{"merge_join/interface", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(index.MergeJoin(rn, bAncs, bDescs))
+			}
+		}},
+		{"merge_join/fastpath", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(index.MergeJoinRUID(rn, ancs, descs))
+			}
+		}},
+		{"upward_semi_join/interface", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(index.UpwardSemiJoin(rn, bAncs, bDescs))
+			}
+		}},
+		{"upward_semi_join/fastpath", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(index.UpwardSemiJoinRUID(rn, ancs, descs))
+			}
+		}},
+		{"path_query/interface", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(ix.PathQuery("section", "section", "title"))
+			}
+		}},
+		{"path_query/fastpath", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(ix.PathQueryRUID("section", "section", "title"))
+			}
+		}},
+		{"rparent", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, _, err := an.RParent(ids[i%len(ids)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				microSink += int(p.Local)
+			}
+		}},
+		{"axis_children/interface", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(an.Children(ids[i%len(ids)]))
+			}
+		}},
+		{"axis_children/fastpath", func(b *testing.B) {
+			buf := make([]core.ID, 0, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				microSink += len(an.AppendChildren(buf[:0], ids[i%len(ids)]))
+			}
+		}},
+		{"axis_descendants/interface", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(an.Descendants(ids[i%len(ids)]))
+			}
+		}},
+		{"axis_descendants/fastpath", func(b *testing.B) {
+			buf := make([]core.ID, 0, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				microSink += len(an.AppendDescendants(buf[:0], ids[i%len(ids)]))
+			}
+		}},
+		{"axis_following/interface", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(an.Following(ids[i%len(ids)]))
+			}
+		}},
+		{"axis_following/fastpath", func(b *testing.B) {
+			buf := make([]core.ID, 0, 8192)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				microSink += len(an.AppendFollowing(buf[:0], ids[i%len(ids)]))
+			}
+		}},
+	}
+
+	results := make([]microResult, 0, len(benches))
+	for _, bench := range benches {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bench.fn(b)
+		})
+		results = append(results, microResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return err
+	}
+	_ = fmt.Sprintf("%d", microSink) // keep the sink live
+	return nil
+}

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	xq [-nav ruid|uid|pointer] [-area N] [-serialize] 'xpath' [file.xml]
+//	xq [-nav ruid|uid|pointer|planner] [-area N] [-serialize] 'xpath' [file.xml]
 //
-// With no file argument the document is read from standard input.
+// With no file argument the document is read from standard input. The ruid
+// and planner modes go through the internal/document facade, the same stack
+// a serving process would use.
 package main
 
 import (
@@ -16,7 +18,7 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/query"
+	"repro/internal/document"
 	"repro/internal/uid"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -41,7 +43,7 @@ func main() {
 	}
 }
 
-func run(nav string, areaBudget int, serialize bool, query2, path string, out io.Writer) error {
+func run(nav string, areaBudget int, serialize bool, query, path string, out io.Writer) error {
 	var in io.Reader = os.Stdin
 	if path != "" {
 		f, err := os.Open(path)
@@ -51,55 +53,58 @@ func run(nav string, areaBudget int, serialize bool, query2, path string, out io
 		defer f.Close()
 		in = f
 	}
-	doc, err := xmltree.Parse(in)
-	if err != nil {
-		return err
+	opts := document.Options{
+		Partition: core.PartitionConfig{MaxAreaNodes: areaBudget, AdjustFanout: true},
 	}
 
-	if nav == "planner" {
-		n, err := core.Build(doc, core.Options{
-			Partition: core.PartitionConfig{MaxAreaNodes: areaBudget, AdjustFanout: true},
-		})
+	switch nav {
+	case "planner":
+		d, err := document.Open(in, opts)
 		if err != nil {
 			return err
 		}
-		pl := query.New(doc, n)
-		results, plan, err := pl.Run(query2)
+		results, plan, err := d.Query(query)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "plan: %s\n", plan.Explain())
 		return printResults(out, results, serialize)
-	}
 
-	var navigator xpath.Navigator
-	switch nav {
 	case "ruid":
-		n, err := core.Build(doc, core.Options{
-			Partition: core.PartitionConfig{MaxAreaNodes: areaBudget, AdjustFanout: true},
-		})
+		d, err := document.Open(in, opts)
 		if err != nil {
 			return err
 		}
-		navigator = xpath.SchemeNavigator{S: n}
-	case "uid":
-		n, err := uid.Build(doc, uid.Options{})
+		snap := d.Snapshot()
+		engine := xpath.NewEngine(snap.Tree(), xpath.SchemeNavigator{S: snap.Numbering()})
+		results, err := engine.Query(query)
 		if err != nil {
 			return err
 		}
-		navigator = xpath.SchemeNavigator{S: n}
-	case "pointer":
-		navigator = xpath.PointerNavigator{}
+		return printResults(out, results, serialize)
+
+	case "uid", "pointer":
+		doc, err := xmltree.Parse(in)
+		if err != nil {
+			return err
+		}
+		var navigator xpath.Navigator = xpath.PointerNavigator{}
+		if nav == "uid" {
+			n, err := uid.Build(doc, uid.Options{})
+			if err != nil {
+				return err
+			}
+			navigator = xpath.SchemeNavigator{S: n}
+		}
+		results, err := xpath.NewEngine(doc, navigator).Query(query)
+		if err != nil {
+			return err
+		}
+		return printResults(out, results, serialize)
+
 	default:
 		return fmt.Errorf("unknown navigator %q", nav)
 	}
-
-	engine := xpath.NewEngine(doc, navigator)
-	results, err := engine.Query(query2)
-	if err != nil {
-		return err
-	}
-	return printResults(out, results, serialize)
 }
 
 func printResults(out io.Writer, results []*xmltree.Node, serialize bool) error {

@@ -1,8 +1,8 @@
-// Query planning (§4 "query evaluation" + §6 [4] DataGuides): a numbered
-// document is wrapped in the cost-based planner, which chooses between the
-// identifier-join pipeline, the twig matcher and axis navigation per query,
-// prunes impossible name chains with the DataGuide, and explains each
-// decision.
+// Query planning (§4 "query evaluation" + §6 [4] DataGuides): a generated
+// auction document is opened through the document facade, whose cost-based
+// planner chooses between the identifier-join pipeline, the twig matcher
+// and axis navigation per query, prunes impossible name chains with the
+// DataGuide, and explains each decision.
 package main
 
 import (
@@ -11,22 +11,21 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/query"
+	"repro/internal/document"
 	"repro/internal/xmltree"
 )
 
 func main() {
-	doc := xmltree.XMark(6, 29)
-	n, err := core.Build(doc, core.Options{
+	d, err := document.FromTree(xmltree.XMark(6, 29), document.Options{
 		Partition: core.PartitionConfig{MaxAreaNodes: 48, AdjustFanout: true},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	p := query.New(doc, n)
+	snap := d.Snapshot()
 
-	fmt.Printf("document: %s\n", xmltree.Measure(doc.DocumentElement()))
-	fmt.Printf("dataguide: %d distinct label paths\n\n", p.Guide().Size())
+	fmt.Printf("document: %s\n", xmltree.Measure(snap.Tree().DocumentElement()))
+	fmt.Printf("dataguide: %d distinct label paths\n\n", snap.Guide().Size())
 
 	queries := []string{
 		"/site/regions//item/name",                // join pipeline
@@ -37,7 +36,7 @@ func main() {
 	}
 	for _, q := range queries {
 		start := time.Now()
-		res, plan, err := p.Run(q)
+		res, plan, err := snap.Query(q)
 		if err != nil {
 			log.Fatal(err)
 		}

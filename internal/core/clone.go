@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// CloneFor re-points a deep copy of the numbering at a cloned document
+// tree: doc is the clone of the numbered document and mapping maps every
+// original node (attributes included) to its clone, as produced by
+// xmltree.Node.CloneWithMap.
+//
+// The clone carries exactly the same identifiers, κ and table K as the
+// original — including fan-outs enlarged by past updates — so identifiers
+// remain stable across snapshot epochs of the document facade. The clone
+// shares no mutable state with the original: every area map and slot list
+// is copied, and the per-area slot lists are pre-sorted so that reads on
+// the clone are free of lazy initialization (safe for concurrent readers).
+func (n *Numbering) CloneFor(doc *xmltree.Node, mapping map[*xmltree.Node]*xmltree.Node) (*Numbering, error) {
+	remap := func(x *xmltree.Node) (*xmltree.Node, error) {
+		c, ok := mapping[x]
+		if !ok {
+			return nil, fmt.Errorf("core: clone mapping misses node %s", x.Path())
+		}
+		return c, nil
+	}
+	croot, err := remap(n.root)
+	if err != nil {
+		return nil, err
+	}
+	c := &Numbering{
+		doc:        doc,
+		root:       croot,
+		opts:       n.opts,
+		kappa:      n.kappa,
+		localLimit: n.localLimit,
+		areas:      make(map[int64]*area, len(n.areas)),
+		ids:        make(map[*xmltree.Node]ID, len(n.ids)),
+		nodes:      make(map[ID]*xmltree.Node, len(n.nodes)),
+		areaRoots:  make(map[*xmltree.Node]bool, len(n.areaRoots)),
+	}
+	for g, a := range n.areas {
+		ar, err := remap(a.root)
+		if err != nil {
+			return nil, err
+		}
+		ca := &area{
+			global:       a.global,
+			root:         ar,
+			rootLocal:    a.rootLocal,
+			fanout:       a.fanout,
+			parentGlobal: a.parentGlobal,
+			rootByLocal:  make(map[int64]int64, len(a.rootByLocal)),
+			locals:       make(map[int64]*xmltree.Node, len(a.locals)),
+		}
+		for l, g2 := range a.rootByLocal {
+			ca.rootByLocal[l] = g2
+		}
+		for l, x := range a.locals {
+			cx, err := remap(x)
+			if err != nil {
+				return nil, err
+			}
+			ca.locals[l] = cx
+		}
+		a.ensureSorted()
+		ca.sortedLocals = append([]int64(nil), a.sortedLocals...)
+		ca.sortedDirty = false
+		c.areas[g] = ca
+	}
+	for x, id := range n.ids {
+		cx, err := remap(x)
+		if err != nil {
+			return nil, err
+		}
+		c.ids[cx] = id
+		c.nodes[id] = cx
+	}
+	for x, ok := range n.areaRoots {
+		if !ok {
+			continue
+		}
+		cx, err := remap(x)
+		if err != nil {
+			return nil, err
+		}
+		c.areaRoots[cx] = true
+	}
+	return c, nil
+}

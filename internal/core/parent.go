@@ -59,13 +59,18 @@ func (n *Numbering) Parent(id scheme.ID) (scheme.ID, bool) {
 	return p, true
 }
 
-// IsAncestor implements scheme.Scheme: ancestor/descendant is examined
-// "based on parent-child determination" (§3.3), iterating RParent from the
-// descendant. The frame shortcut of Lemma 3 prunes early: if the two areas
-// are unrelated in the frame, no ancestor relationship can exist.
+// IsAncestor implements scheme.Scheme via IsAncestorID.
 func (n *Numbering) IsAncestor(anc, desc scheme.ID) bool {
-	a := anc.(ID)
-	d := desc.(ID)
+	return n.IsAncestorID(anc.(ID), desc.(ID))
+}
+
+// IsAncestorID is the concrete-identifier form of IsAncestor — the fast
+// path used by the identifier joins, with no interface boxing.
+// Ancestor/descendant is examined "based on parent-child determination"
+// (§3.3), iterating RParent from the descendant. The frame shortcut of
+// Lemma 3 prunes early: if the two areas are unrelated in the frame, no
+// ancestor relationship can exist.
+func (n *Numbering) IsAncestorID(a, d ID) bool {
 	if a == d {
 		return false
 	}
@@ -105,21 +110,27 @@ func (n *Numbering) frameAncestorOrSelf(ga, gd int64) bool {
 	return gd == ga
 }
 
-// CompareOrder implements scheme.Scheme. The procedure mirrors Fig. 10
-// lifted to ruid: ancestors precede descendants; otherwise the identifiers
-// of the two children of the lowest common ancestor are compared — by
-// Lemma 2 their sibling order decides, and since siblings are enumerated
-// consecutively within one area, their Local indices compare numerically.
+// CompareOrder implements scheme.Scheme via CompareOrderID.
 func (n *Numbering) CompareOrder(a, b scheme.ID) int {
-	av := a.(ID)
-	bv := b.(ID)
+	return n.CompareOrderID(a.(ID), b.(ID))
+}
+
+// CompareOrderID is the concrete-identifier form of CompareOrder — the
+// fast path used by the merge join, with no interface boxing and
+// stack-allocated ancestor chains for documents up to 32 levels deep.
+// The procedure mirrors Fig. 10 lifted to ruid: ancestors precede
+// descendants; otherwise the identifiers of the two children of the lowest
+// common ancestor are compared — by Lemma 2 their sibling order decides,
+// and since siblings are enumerated consecutively within one area, their
+// Local indices compare numerically.
+func (n *Numbering) CompareOrderID(av, bv ID) int {
 	if av == bv {
 		return 0
 	}
-	if n.IsAncestor(av, bv) {
+	if n.IsAncestorID(av, bv) {
 		return -1
 	}
-	if n.IsAncestor(bv, av) {
+	if n.IsAncestorID(bv, av) {
 		return 1
 	}
 	ca, cb := n.childrenUnderLCA(av, bv)
@@ -134,8 +145,9 @@ func (n *Numbering) CompareOrder(a, b scheme.ID) int {
 // other. Both returned identifiers are siblings enumerated in the same
 // area, so their Local fields are directly comparable.
 func (n *Numbering) childrenUnderLCA(a, b ID) (ID, ID) {
-	chainA := n.ancestorChain(a) // a, parent(a), ..., root
-	chainB := n.ancestorChain(b)
+	var bufA, bufB [32]ID
+	chainA := n.appendAncestorChain(bufA[:0], a) // a, parent(a), ..., root
+	chainB := n.appendAncestorChain(bufB[:0], b)
 	i, j := len(chainA)-1, len(chainB)-1
 	for i > 0 && j > 0 && chainA[i-1] == chainB[j-1] {
 		i--
@@ -144,15 +156,18 @@ func (n *Numbering) childrenUnderLCA(a, b ID) (ID, ID) {
 	return chainA[i-1], chainB[j-1]
 }
 
-func (n *Numbering) ancestorChain(id ID) []ID {
-	chain := []ID{id}
+// appendAncestorChain appends id and its ancestor chain up to the root to
+// dst and returns the extended slice. With a stack-backed dst it does not
+// allocate for chains that fit the buffer.
+func (n *Numbering) appendAncestorChain(dst []ID, id ID) []ID {
+	dst = append(dst, id)
 	cur := id
 	for {
 		p, ok, err := n.RParent(cur)
 		if err != nil || !ok {
-			return chain
+			return dst
 		}
-		chain = append(chain, p)
+		dst = append(dst, p)
 		cur = p
 	}
 }

@@ -1,0 +1,253 @@
+// Package document is the serving facade over the paper's machinery: one
+// Document owns the parsed XML tree, its 2-level ruid numbering, the
+// element-name index, the DataGuide structural summary and the cost-based
+// query planner, behind a single Open/Query/Insert/Delete/Snapshot API —
+// callers no longer hand-assemble xmltree + core + index + query.
+//
+// # Concurrency model
+//
+// The Document is safe for concurrent use by any number of readers and
+// writers, with snapshot isolation:
+//
+//   - Readers pin an immutable epoch with Snapshot (or implicitly through
+//     Query). An epoch bundles a private copy of the tree, a copy-on-write
+//     clone of the numbering (κ, the table K, the per-area clustered slot
+//     lists) and the index postings; nothing in a published epoch is ever
+//     mutated again, so readers share epochs freely without locks.
+//   - Writers serialize on an internal mutex and mutate the writer-private
+//     master tree. Identifier maintenance on the master is the paper's
+//     incremental §3.2 algorithm: an insert or delete re-enumerates only
+//     the affected UID-local area (UpdateStats reports the scope), so
+//     identifiers outside the update area survive across epochs. After the
+//     areas are rebuilt, the writer publishes the next epoch with one
+//     atomic pointer store.
+//
+// A reader holding an old epoch keeps querying it consistently — queries
+// racing updates observe either the pre- or post-update document, never a
+// mix. Epoch publication copies the document (O(n)); the area-confined
+// relabeling statistics still reflect the paper's update-scope claims.
+package document
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dataguide"
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Options configure Open.
+type Options struct {
+	// Partition controls UID-local area selection for the ruid numbering.
+	// The zero value selects a serving-oriented default (area budget 64,
+	// §2.3 fan-out adjustment on).
+	Partition core.PartitionConfig
+	// WithAttrs numbers attribute nodes too (§4: "all components of XML
+	// document trees").
+	WithAttrs bool
+}
+
+func (o Options) coreOptions() core.Options {
+	p := o.Partition
+	if p.MaxAreaNodes == 0 {
+		p = core.PartitionConfig{MaxAreaNodes: 64, AdjustFanout: true}
+	}
+	return core.Options{Partition: p, WithAttrs: o.WithAttrs}
+}
+
+// Document is a numbered XML document that serves concurrent queries while
+// accepting structural updates. Create one with Open, OpenString or
+// FromTree; the zero value is not usable.
+type Document struct {
+	opts core.Options
+
+	mu     sync.Mutex    // serializes writers and epoch publication
+	master *xmltree.Node // writer-private tree; never exposed to readers
+	num    *core.Numbering
+
+	epoch uint64
+	cur   atomic.Pointer[Snapshot]
+}
+
+// Snapshot is one immutable epoch of a Document: a consistent bundle of
+// tree, numbering, name index, DataGuide and planner. Snapshots are safe
+// for concurrent use and stay valid (and unchanged) after later updates.
+type Snapshot struct {
+	epoch   uint64
+	tree    *xmltree.Node
+	num     *core.Numbering
+	planner *query.Planner
+}
+
+// Open parses an XML document from r and numbers it.
+func Open(r io.Reader, opts Options) (*Document, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromTree(doc, opts)
+}
+
+// OpenString parses an XML document held in a string and numbers it.
+func OpenString(src string, opts Options) (*Document, error) {
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromTree(doc, opts)
+}
+
+// FromTree numbers an already-parsed tree. The Document takes ownership of
+// doc: the caller must not read or mutate it afterwards (readers work on
+// snapshot copies; writers on the master).
+func FromTree(doc *xmltree.Node, opts Options) (*Document, error) {
+	copts := opts.coreOptions()
+	num, err := core.Build(doc, copts)
+	if err != nil {
+		return nil, err
+	}
+	d := &Document{opts: copts, master: doc, num: num}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d, d.publishLocked()
+}
+
+// publishLocked clones the master tree, re-points a copy of the numbering
+// at the clone and atomically installs the bundle as the next epoch.
+// Callers hold d.mu.
+func (d *Document) publishLocked() error {
+	tree, mapping := d.master.CloneWithMap()
+	num, err := d.num.CloneFor(tree, mapping)
+	if err != nil {
+		return err
+	}
+	d.epoch++
+	d.cur.Store(&Snapshot{
+		epoch:   d.epoch,
+		tree:    tree,
+		num:     num,
+		planner: query.New(tree, num),
+	})
+	return nil
+}
+
+// Snapshot pins the current epoch. The returned snapshot never changes;
+// queries on it are wait-free with respect to writers.
+func (d *Document) Snapshot() *Snapshot { return d.cur.Load() }
+
+// Query plans and executes an XPath query against the current epoch,
+// returning the result node-set in document order (nodes belong to that
+// epoch's immutable tree) and the plan that produced it.
+func (d *Document) Query(q string) ([]*xmltree.Node, query.Plan, error) {
+	return d.Snapshot().Query(q)
+}
+
+// Insert attaches child (possibly a whole subtree) as the pos-th child of
+// the first element matched by parentPath (an XPath location path,
+// evaluated in document order against the latest state) and publishes a
+// new epoch. It returns the paper's §3.2 relabeling statistics. The
+// Document takes ownership of child.
+func (d *Document) Insert(parentPath string, pos int, child *xmltree.Node) (scheme.UpdateStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	parent, err := d.findOneLocked(parentPath)
+	if err != nil {
+		return scheme.UpdateStats{}, err
+	}
+	st, err := d.num.InsertChild(parent, pos, child)
+	if err != nil {
+		return st, err
+	}
+	return st, d.publishLocked()
+}
+
+// Delete removes (cascading) the pos-th child of the first element matched
+// by parentPath and publishes a new epoch.
+func (d *Document) Delete(parentPath string, pos int) (scheme.UpdateStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	parent, err := d.findOneLocked(parentPath)
+	if err != nil {
+		return scheme.UpdateStats{}, err
+	}
+	st, err := d.num.DeleteChild(parent, pos)
+	if err != nil {
+		return st, err
+	}
+	return st, d.publishLocked()
+}
+
+// findOneLocked resolves a writer's target path against the master tree
+// using pointer navigation (the master numbering may be mid-flight between
+// epochs, so identifiers are not used here).
+func (d *Document) findOneLocked(path string) (*xmltree.Node, error) {
+	engine := xpath.NewEngine(d.master, xpath.PointerNavigator{})
+	res, err := engine.Query(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range res {
+		if n.Kind == xmltree.Element {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("document: no element matches %q", path)
+}
+
+// Stats summarizes the current epoch.
+type Stats struct {
+	Epoch int   // epochs published so far (1 = the initial one)
+	Nodes int   // numbered nodes
+	Areas int   // UID-local areas (rows of K)
+	Kappa int64 // frame fan-out κ
+	Names int   // distinct indexed element names
+}
+
+// Stats returns a summary of the current epoch.
+func (d *Document) Stats() Stats {
+	s := d.Snapshot()
+	return Stats{
+		Epoch: int(s.epoch),
+		Nodes: s.num.Size(),
+		Areas: s.num.AreaCount(),
+		Kappa: s.num.Kappa(),
+		Names: len(s.Index().Names()),
+	}
+}
+
+// Epoch returns the snapshot's epoch number (monotonically increasing per
+// Document, starting at 1).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Tree returns the snapshot's immutable document tree. Callers must not
+// mutate it (it is shared by every reader of this epoch).
+func (s *Snapshot) Tree() *xmltree.Node { return s.tree }
+
+// Numbering returns the snapshot's ruid numbering.
+func (s *Snapshot) Numbering() *core.Numbering { return s.num }
+
+// Index returns the snapshot's element-name index.
+func (s *Snapshot) Index() *index.NameIndex { return s.planner.Index() }
+
+// Guide returns the snapshot's DataGuide structural summary.
+func (s *Snapshot) Guide() *dataguide.Guide { return s.planner.Guide() }
+
+// Query plans and executes an XPath query against this epoch, returning
+// the result node-set in document order and the plan used. Safe for
+// concurrent use.
+func (s *Snapshot) Query(q string) ([]*xmltree.Node, query.Plan, error) {
+	return s.planner.Run(q)
+}
+
+// Plan parses the query and reports the strategy the planner would choose,
+// without executing it.
+func (s *Snapshot) Plan(q string) (query.Plan, error) {
+	return s.planner.Plan(q)
+}

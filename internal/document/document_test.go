@@ -1,0 +1,200 @@
+package document_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/document"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+const librarySrc = `<library>
+  <shelf floor="1">
+    <book><title>One</title><author>A</author></book>
+    <book><title>Two</title><author>B</author><author>C</author></book>
+  </shelf>
+  <shelf floor="2">
+    <book><title>Three</title><author>D</author></book>
+  </shelf>
+</library>`
+
+// oracleQuery evaluates q over tree with the pointer-navigation engine and
+// returns the sorted result paths.
+func oracleQuery(t *testing.T, tree *xmltree.Node, q string) []string {
+	t.Helper()
+	res, err := xpath.NewEngine(tree, xpath.PointerNavigator{}).Query(q)
+	if err != nil {
+		t.Fatalf("oracle %q: %v", q, err)
+	}
+	return sortedPaths(res)
+}
+
+func sortedPaths(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Path()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestOpenAndQuery(t *testing.T) {
+	d, err := document.OpenString(librarySrc, document.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"/library/shelf/book/title",
+		"//book//author",
+		"//book[author]/title",
+		"//shelf[@floor='2']/book/title",
+		"//title/text()",
+	}
+	snap := d.Snapshot()
+	for _, q := range queries {
+		got, _, err := d.Query(q)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", q, err)
+		}
+		want := oracleQuery(t, snap.Tree(), q)
+		if gotP := sortedPaths(got); strings.Join(gotP, "|") != strings.Join(want, "|") {
+			t.Errorf("Query(%q) = %v, want %v", q, gotP, want)
+		}
+	}
+	st := d.Stats()
+	if st.Epoch != 1 || st.Nodes == 0 || st.Areas == 0 || st.Names == 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	d, err := document.OpenString(librarySrc, document.Options{
+		Partition: coreSmallPartition(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Snapshot()
+	beforeTitles, _, err := before.Query("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	book := xmltree.NewElement("book")
+	title := xmltree.NewElement("title")
+	title.AppendChild(xmltree.NewText("Four"))
+	book.AppendChild(title)
+	st, err := d.Insert("//shelf[@floor='1']", 0, book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st
+
+	after := d.Snapshot()
+	if after.Epoch() <= before.Epoch() {
+		t.Fatalf("epoch did not advance: %d -> %d", before.Epoch(), after.Epoch())
+	}
+	// The pinned snapshot still answers from the pre-update document.
+	again, _, err := before.Query("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(beforeTitles) {
+		t.Fatalf("pinned snapshot changed: %d titles, was %d", len(again), len(beforeTitles))
+	}
+	afterTitles, _, err := after.Query("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afterTitles) != len(beforeTitles)+1 {
+		t.Fatalf("new snapshot has %d titles, want %d", len(afterTitles), len(beforeTitles)+1)
+	}
+
+	// Delete the inserted book again; a third epoch appears.
+	if _, err := d.Delete("//shelf[@floor='1']", 0); err != nil {
+		t.Fatal(err)
+	}
+	final, _, err := d.Query("//book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != len(beforeTitles) {
+		t.Fatalf("after delete: %d titles, want %d", len(final), len(beforeTitles))
+	}
+	if d.Snapshot().Epoch() != 3 {
+		t.Fatalf("epoch = %d, want 3", d.Snapshot().Epoch())
+	}
+}
+
+// TestWritePathErrors pins the addressing contract of Insert/Delete.
+func TestWritePathErrors(t *testing.T) {
+	d, err := document.OpenString(librarySrc, document.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert("//nosuch", 0, xmltree.NewElement("x")); err == nil {
+		t.Error("Insert under missing path succeeded")
+	}
+	if _, err := d.Insert("//book[", 0, xmltree.NewElement("x")); err == nil {
+		t.Error("Insert with bad path succeeded")
+	}
+	if _, err := d.Delete("//shelf", 99); err == nil {
+		t.Error("Delete out of range succeeded")
+	}
+	if d.Snapshot().Epoch() != 1 {
+		t.Errorf("failed writes published epochs: %d", d.Snapshot().Epoch())
+	}
+}
+
+// TestIdentifierStabilityAcrossEpochs checks that an update relabels only
+// the affected area: a node far from the update point keeps its identifier
+// in the next epoch (the paper's §3.2 claim, surfaced through the facade).
+func TestIdentifierStabilityAcrossEpochs(t *testing.T) {
+	d, err := document.FromTree(xmltree.Recursive(2, 5), document.Options{
+		Partition: coreSmallPartition(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Snapshot()
+	// Observe the first title; update a subtree that follows it, so the
+	// observed node is outside the re-enumerated area.
+	titles, _, err := before.Query("//title")
+	if err != nil || len(titles) == 0 {
+		t.Fatalf("titles: %v (%d)", err, len(titles))
+	}
+	firstPath := titles[0].Path()
+	idBefore, ok := before.Numbering().RUID(titles[0])
+	if !ok {
+		t.Fatal("first title unnumbered")
+	}
+
+	if _, err := d.Insert("/book/section/section[2]", 0, xmltree.NewElement("inserted")); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Snapshot()
+	var match *xmltree.Node
+	after.Tree().Walk(func(x *xmltree.Node) bool {
+		if x.Path() == firstPath {
+			match = x
+		}
+		return true
+	})
+	if match == nil {
+		t.Fatalf("node %s missing after update", firstPath)
+	}
+	idAfter, ok := after.Numbering().RUID(match)
+	if !ok {
+		t.Fatal("first title unnumbered after update")
+	}
+	if idBefore != idAfter {
+		t.Errorf("identifier of %s changed across epochs: %v -> %v", firstPath, idBefore, idAfter)
+	}
+}
+
+func coreSmallPartition() core.PartitionConfig {
+	return core.PartitionConfig{MaxAreaNodes: 8, AdjustFanout: true}
+}

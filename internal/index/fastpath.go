@@ -1,0 +1,185 @@
+package index
+
+import (
+	"repro/internal/core"
+)
+
+// Concrete ruid fast paths for the structural joins. The generic functions
+// in index.go accept any scheme.Scheme but pay for it twice per probe: the
+// identifier is boxed behind the scheme.ID interface, and the hash-set
+// probe allocates a key string from ID.Key(). The *RUID variants below
+// exploit that core.ID is a small comparable value type: the probe sets
+// are map[core.ID] (hashed in place, no allocation), the parent chain is
+// computed with the concrete RParent, and the output slices are
+// preallocated from the input cardinalities. Both paths return identical
+// results; TestFastPathAgree pins that.
+
+// PairID is one (ancestor, descendant) join result in unboxed form.
+type PairID struct {
+	Ancestor   core.ID
+	Descendant core.ID
+}
+
+// rparentID climbs one step with the concrete rparent arithmetic; a foreign
+// identifier (error) terminates the climb like the root does.
+func rparentID(n *core.Numbering, id core.ID) (core.ID, bool) {
+	p, ok, err := n.RParent(id)
+	if err != nil {
+		return core.ID{}, false
+	}
+	return p, ok
+}
+
+// UpwardJoinRUID is the unboxed form of UpwardJoin: every pair (a, d) with
+// a ∈ ancs a proper ancestor of d ∈ descs, in document order of the
+// descendant, computed by rparent arithmetic against a hash of ancs.
+func UpwardJoinRUID(n *core.Numbering, ancs, descs []core.ID) []PairID {
+	set := make(map[core.ID]struct{}, len(ancs))
+	for _, a := range ancs {
+		set[a] = struct{}{}
+	}
+	out := make([]PairID, 0, len(descs))
+	for _, d := range descs {
+		cur := d
+		for {
+			p, ok := rparentID(n, cur)
+			if !ok {
+				break
+			}
+			if _, hit := set[p]; hit {
+				out = append(out, PairID{Ancestor: p, Descendant: d})
+			}
+			cur = p
+		}
+	}
+	return out
+}
+
+// UpwardSemiJoinRUID is the unboxed form of UpwardSemiJoin: the descendants
+// of descs having at least one ancestor in ancs, in input order.
+func UpwardSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	set := make(map[core.ID]struct{}, len(ancs))
+	for _, a := range ancs {
+		set[a] = struct{}{}
+	}
+	out := make([]core.ID, 0, len(descs))
+	for _, d := range descs {
+		cur := d
+		for {
+			p, ok := rparentID(n, cur)
+			if !ok {
+				break
+			}
+			if _, hit := set[p]; hit {
+				out = append(out, d)
+				break
+			}
+			cur = p
+		}
+	}
+	return out
+}
+
+// ParentSemiJoinRUID is the unboxed form of ParentSemiJoin: the descendants
+// of descs whose direct parent is in ancs, in input order. One rparent
+// computation per candidate.
+func ParentSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	set := make(map[core.ID]struct{}, len(ancs))
+	for _, a := range ancs {
+		set[a] = struct{}{}
+	}
+	out := make([]core.ID, 0, len(descs))
+	for _, d := range descs {
+		if p, ok := rparentID(n, d); ok {
+			if _, hit := set[p]; hit {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// AncestorSemiJoinRUID is the unboxed form of AncestorSemiJoin: the
+// ancestors of ancs having at least one proper descendant in descs, in
+// ancs order.
+func AncestorSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	set := make(map[core.ID]struct{}, len(ancs))
+	for _, a := range ancs {
+		set[a] = struct{}{}
+	}
+	hit := make(map[core.ID]struct{})
+	for _, d := range descs {
+		cur := d
+		for {
+			p, ok := rparentID(n, cur)
+			if !ok {
+				break
+			}
+			if _, in := set[p]; in {
+				hit[p] = struct{}{}
+			}
+			cur = p
+		}
+	}
+	out := make([]core.ID, 0, len(hit))
+	for _, a := range ancs {
+		if _, in := hit[a]; in {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ChildSemiJoinRUID is the unboxed form of ChildSemiJoin: the ancestors of
+// ancs having at least one direct child in descs, in ancs order.
+func ChildSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	set := make(map[core.ID]struct{}, len(ancs))
+	for _, a := range ancs {
+		set[a] = struct{}{}
+	}
+	hit := make(map[core.ID]struct{})
+	for _, d := range descs {
+		if p, ok := rparentID(n, d); ok {
+			if _, in := set[p]; in {
+				hit[p] = struct{}{}
+			}
+		}
+	}
+	out := make([]core.ID, 0, len(hit))
+	for _, a := range ancs {
+		if _, in := hit[a]; in {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// MergeJoinRUID is the unboxed form of MergeJoin: the stack-based
+// sort-merge join over document-ordered inputs, using the concrete
+// CompareOrderID/IsAncestorID decision procedures.
+func MergeJoinRUID(n *core.Numbering, ancs, descs []core.ID) []PairID {
+	out := make([]PairID, 0, len(descs))
+	var stack []core.ID
+	i := 0
+	for _, d := range descs {
+		// Admit every ancestor candidate that starts before d.
+		for i < len(ancs) && n.CompareOrderID(ancs[i], d) < 0 {
+			// Pop candidates whose subtree closed before this one starts.
+			for len(stack) > 0 && !n.IsAncestorID(stack[len(stack)-1], ancs[i]) &&
+				n.CompareOrderID(stack[len(stack)-1], ancs[i]) < 0 {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, ancs[i])
+			i++
+		}
+		// Pop candidates whose subtree closed before d.
+		for len(stack) > 0 && !n.IsAncestorID(stack[len(stack)-1], d) {
+			stack = stack[:len(stack)-1]
+		}
+		// Every remaining stack entry is an ancestor of d (they are nested).
+		for _, a := range stack {
+			out = append(out, PairID{Ancestor: a, Descendant: d})
+		}
+	}
+	return out
+}

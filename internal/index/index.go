@@ -24,20 +24,45 @@ package index
 import (
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/scheme"
 	"repro/internal/xmltree"
 )
 
 // NameIndex is an in-memory inverted index from element name to the
 // identifiers of the elements carrying it, in document order.
+//
+// When the index is built over the concrete ruid numbering
+// (*core.Numbering), postings are stored unboxed as []core.ID and the join
+// code takes the allocation-free fast path; for every other scheme the
+// boxed scheme.ID representation is kept.
 type NameIndex struct {
 	s      scheme.Scheme
-	byName map[string][]scheme.ID
+	byName map[string][]scheme.ID // generic postings (nil when ruid is set)
+
+	ruid       *core.Numbering      // non-nil: concrete fast path active
+	ruidByName map[string][]core.ID // unboxed postings, document order
 }
 
 // Build indexes every element of the snapshot rooted at root under scheme s.
 func Build(root *xmltree.Node, s scheme.Scheme) *NameIndex {
-	ix := &NameIndex{s: s, byName: make(map[string][]scheme.ID)}
+	ix := &NameIndex{s: s}
+	// Walk order is document order already; keep lists as built.
+	if rn, ok := s.(*core.Numbering); ok {
+		ix.ruid = rn
+		ix.ruidByName = make(map[string][]core.ID)
+		root.Walk(func(x *xmltree.Node) bool {
+			if x.Kind != xmltree.Element {
+				return true
+			}
+			if id, ok := rn.RUID(x); ok {
+				ix.ruidByName[x.Name] = append(ix.ruidByName[x.Name], id)
+			}
+			return true
+		})
+		return ix
+	}
+	ix.byName = make(map[string][]scheme.ID)
 	root.Walk(func(x *xmltree.Node) bool {
 		if x.Kind != xmltree.Element {
 			return true
@@ -47,17 +72,24 @@ func Build(root *xmltree.Node, s scheme.Scheme) *NameIndex {
 		}
 		return true
 	})
-	// Walk order is document order already; keep lists as built.
 	return ix
 }
 
 // Scheme returns the numbering scheme the index was built over.
 func (ix *NameIndex) Scheme() scheme.Scheme { return ix.s }
 
+// RUID returns the concrete ruid numbering the index was built over, or
+// nil if the index uses the generic boxed representation. A non-nil result
+// means RuidIDs and the *RUID join functions are usable.
+func (ix *NameIndex) RUID() *core.Numbering { return ix.ruid }
+
 // Names returns the indexed element names, sorted.
 func (ix *NameIndex) Names() []string {
-	names := make([]string, 0, len(ix.byName))
+	names := make([]string, 0, len(ix.byName)+len(ix.ruidByName))
 	for n := range ix.byName {
+		names = append(names, n)
+	}
+	for n := range ix.ruidByName {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -65,11 +97,47 @@ func (ix *NameIndex) Names() []string {
 }
 
 // IDs returns the identifiers of elements named name, in document order.
-// The returned slice is shared; callers must not modify it.
-func (ix *NameIndex) IDs(name string) []scheme.ID { return ix.byName[name] }
+// The returned slice is a fresh copy: callers may keep or modify it freely
+// without corrupting the index. Join pipelines that want the no-copy
+// internal postings use RuidIDs (ruid-backed indexes) instead.
+func (ix *NameIndex) IDs(name string) []scheme.ID {
+	if ix.ruid != nil {
+		ps := ix.ruidByName[name]
+		if len(ps) == 0 {
+			return nil
+		}
+		out := make([]scheme.ID, len(ps))
+		for i, id := range ps {
+			out[i] = id
+		}
+		return out
+	}
+	ps := ix.byName[name]
+	if len(ps) == 0 {
+		return nil
+	}
+	return append([]scheme.ID(nil), ps...)
+}
+
+// RuidIDs returns the unboxed postings of elements named name, in document
+// order, for a ruid-backed index (nil otherwise). The returned slice is
+// shared with the index and MUST be treated as read-only — this is the
+// internal no-copy path for the join code; external callers should prefer
+// IDs.
+func (ix *NameIndex) RuidIDs(name string) []core.ID {
+	if ix.ruid == nil {
+		return nil
+	}
+	return ix.ruidByName[name]
+}
 
 // Count returns the number of elements named name.
-func (ix *NameIndex) Count(name string) int { return len(ix.byName[name]) }
+func (ix *NameIndex) Count(name string) int {
+	if ix.ruid != nil {
+		return len(ix.ruidByName[name])
+	}
+	return len(ix.byName[name])
+}
 
 // Pair is one (ancestor, descendant) join result.
 type Pair struct {
@@ -186,6 +254,17 @@ func (ix *NameIndex) PathQuery(names ...string) []scheme.ID {
 	if len(names) == 0 {
 		return nil
 	}
+	if ix.ruid != nil {
+		out := ix.PathQueryRUID(names...)
+		if len(out) == 0 {
+			return nil
+		}
+		boxed := make([]scheme.ID, len(out))
+		for i, id := range out {
+			boxed[i] = id
+		}
+		return boxed
+	}
 	// Top-down pipeline: after step i, cur holds the names[i] elements
 	// reachable through a chain names[0] ≻ names[1] ≻ … ≻ names[i]. The
 	// chain must be honored step by step — filtering the leaf list against
@@ -194,6 +273,23 @@ func (ix *NameIndex) PathQuery(names ...string) []scheme.ID {
 	cur := ix.IDs(names[0])
 	for step := 1; step < len(names); step++ {
 		cur = UpwardSemiJoin(ix.s, cur, ix.IDs(names[step]))
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// PathQueryRUID is the unboxed fast-path form of PathQuery for ruid-backed
+// indexes: the whole semi-join pipeline runs on concrete identifiers with
+// no interface boxing. It returns nil for non-ruid indexes.
+func (ix *NameIndex) PathQueryRUID(names ...string) []core.ID {
+	if ix.ruid == nil || len(names) == 0 {
+		return nil
+	}
+	cur := ix.RuidIDs(names[0])
+	for step := 1; step < len(names); step++ {
+		cur = UpwardSemiJoinRUID(ix.ruid, cur, ix.RuidIDs(names[step]))
 		if len(cur) == 0 {
 			return nil
 		}

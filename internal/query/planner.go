@@ -13,6 +13,7 @@ package query
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/dataguide"
 	"repro/internal/index"
 	"repro/internal/scheme"
@@ -252,6 +253,24 @@ func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
 	if !p.guide.HasChain(plan.spineNames()...) {
 		return nil, plan, nil
 	}
+	// Unboxed fast path: over a ruid-backed index the whole pipeline (twig
+	// or join chain) runs on concrete identifiers and resolves nodes via
+	// the concrete lookup, never boxing a single probe.
+	if rn := p.ix.RUID(); rn != nil {
+		var ids []core.ID
+		if plan.Kind == TwigPlan {
+			ids, _ = twig.MatchIDs(plan.pattern, p.ix)
+		} else {
+			ids = p.runChainRUID(rn, plan.chain)
+		}
+		nodes := make([]*xmltree.Node, 0, len(ids))
+		for _, id := range ids {
+			if n, ok := rn.NodeOfID(id); ok {
+				nodes = append(nodes, n)
+			}
+		}
+		return nodes, plan, nil
+	}
 	var ids []scheme.ID
 	if plan.Kind == TwigPlan {
 		ids = twig.Match(plan.pattern, p.ix)
@@ -265,6 +284,37 @@ func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
 		}
 	}
 	return nodes, plan, nil
+}
+
+// runChainRUID executes a join pipeline entirely on concrete ruid
+// identifiers — the allocation-free counterpart of runChain.
+func (p *Planner) runChainRUID(rn *core.Numbering, chain []step) []core.ID {
+	first := chain[0]
+	cur := p.ix.RuidIDs(first.name)
+	if !first.descendant {
+		// Root-anchored /name: only the document root element qualifies.
+		root := p.doc
+		if root.Kind == xmltree.Document {
+			root = root.DocumentElement()
+		}
+		cur = nil
+		if root != nil && root.Name == first.name {
+			if id, ok := rn.RUID(root); ok {
+				cur = []core.ID{id}
+			}
+		}
+	}
+	for _, st := range chain[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		if st.descendant {
+			cur = index.UpwardSemiJoinRUID(rn, cur, p.ix.RuidIDs(st.name))
+		} else {
+			cur = index.ParentSemiJoinRUID(rn, cur, p.ix.RuidIDs(st.name))
+		}
+	}
+	return cur
 }
 
 // runChain executes a join pipeline on identifiers only.

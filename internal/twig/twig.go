@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/scheme"
 	"repro/internal/xpath"
@@ -206,8 +207,19 @@ func compileSteps(steps []xpath.Step, isRoot bool) (*Node, error) {
 }
 
 // Match evaluates the pattern against a name index and returns the output
-// node's matches in document order.
+// node's matches in document order. Over a ruid-backed index the whole
+// match runs on the unboxed fast path; only the final result is boxed.
 func Match(p *Node, ix *index.NameIndex) []scheme.ID {
+	if ids, ok := MatchIDs(p, ix); ok {
+		if len(ids) == 0 {
+			return nil
+		}
+		out := make([]scheme.ID, len(ids))
+		for i, id := range ids {
+			out[i] = id
+		}
+		return out
+	}
 	s := ix.Scheme()
 	sat := satisfy(p, ix, s)
 	// Top-down prefix filtering along the output path.
@@ -271,4 +283,73 @@ func anchorToRoot(ids []scheme.ID, s scheme.Scheme) []scheme.ID {
 		}
 	}
 	return out
+}
+
+// MatchIDs evaluates the pattern on the unboxed ruid fast path: every
+// semi-join of both passes runs on concrete core.ID slices with no
+// interface boxing or per-probe key allocation. The second result is false
+// when the index is not ruid-backed (callers fall back to Match's generic
+// path).
+func MatchIDs(p *Node, ix *index.NameIndex) ([]core.ID, bool) {
+	n := ix.RUID()
+	if n == nil {
+		return nil, false
+	}
+	sat := satisfyRUID(p, ix, n)
+	// Top-down prefix filtering along the output path.
+	cur := sat[p]
+	if p.Anchored {
+		anchored := make([]core.ID, 0, 1)
+		for _, id := range cur {
+			if id == core.RootID {
+				anchored = append(anchored, id)
+			}
+		}
+		cur = anchored
+	}
+	node := p
+	for !node.Output {
+		var next *Node
+		for _, c := range node.Children {
+			if c.onOutputPath() {
+				next = c
+			}
+		}
+		if next == nil {
+			return nil, true // no output node (cannot happen for compiled patterns)
+		}
+		if next.Edge == Descendant {
+			cur = index.UpwardSemiJoinRUID(n, cur, sat[next])
+		} else {
+			cur = index.ParentSemiJoinRUID(n, cur, sat[next])
+		}
+		node = next
+	}
+	return cur, true
+}
+
+// satisfyRUID is the unboxed form of satisfy: bottom-up, the elements that
+// embed each pattern node's subtree, as concrete identifier lists.
+func satisfyRUID(p *Node, ix *index.NameIndex, n *core.Numbering) map[*Node][]core.ID {
+	sat := make(map[*Node][]core.ID)
+	var walk func(t *Node)
+	walk = func(t *Node) {
+		for _, c := range t.Children {
+			walk(c)
+		}
+		cur := ix.RuidIDs(t.Name)
+		for _, c := range t.Children {
+			if len(cur) == 0 {
+				break
+			}
+			if c.Edge == Descendant {
+				cur = index.AncestorSemiJoinRUID(n, cur, sat[c])
+			} else {
+				cur = index.ChildSemiJoinRUID(n, cur, sat[c])
+			}
+		}
+		sat[t] = cur
+	}
+	walk(p)
+	return sat
 }

