@@ -4,11 +4,13 @@
 package main
 
 import (
+	"fmt"
 	"math/big"
 	"math/rand"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/document"
 	"repro/internal/index"
 	"repro/internal/prepost"
 	"repro/internal/scheme"
@@ -510,6 +512,78 @@ func BenchmarkAxisGeneration(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				benchSink += len(ax.concrete(buf[:0], ids[i%len(ids)]))
 			}
+		})
+	}
+}
+
+// epochPublishFixture builds a document with a small hot spot (the update
+// target area) next to a bulk region that pads the document to roughly
+// total nodes. The bulk is eight deep 8-ary subtrees rather than one flat
+// fan: a flat bulk would turn every section into a boundary joint of the
+// ROOT area, making the hot spot's own area scale with the document and
+// defeating the point of the measurement. Publication cost should track
+// the (fixed-size) hot area, not the bulk.
+func epochPublishFixture(total int) *xmltree.Node {
+	doc := xmltree.NewDocument()
+	root := xmltree.NewElement("doc")
+	doc.AppendChild(root)
+	hot := xmltree.NewElement("hot")
+	root.AppendChild(hot)
+	for i := 0; i < 4; i++ {
+		hot.AppendChild(xmltree.NewElement(fmt.Sprintf("h%d", i)))
+	}
+	bulk := xmltree.NewElement("bulk")
+	root.AppendChild(bulk)
+	const chunks = 8
+	for i := 0; i < chunks; i++ {
+		bulk.AppendChild(bulkSubtree((total - 7) / chunks))
+	}
+	return doc
+}
+
+// bulkSubtree returns a "section" subtree of exactly m elements with
+// fan-out at most 8 (so depth grows logarithmically in m).
+func bulkSubtree(m int) *xmltree.Node {
+	el := xmltree.NewElement("section")
+	m--
+	q, r := m/8, m%8
+	for i := 0; i < 8; i++ {
+		sz := q
+		if i < r {
+			sz++
+		}
+		if sz > 0 {
+			el.AppendChild(bulkSubtree(sz))
+		}
+	}
+	return el
+}
+
+// BenchmarkEpochPublish measures one structural write through the document
+// facade — update, incremental epoch assembly (tree spine + dirty area
+// copy, numbering delta clone, index/guide delta), and publication — at two
+// document sizes an order of magnitude apart. With area-confined
+// publication the per-write cost must be governed by the (fixed) hot-area
+// size, staying within ~2× between 5k and 50k nodes rather than the ~10×
+// of a full clone.
+func BenchmarkEpochPublish(b *testing.B) {
+	for _, size := range []int{5000, 50000} {
+		b.Run(fmt.Sprintf("nodes=%d", size), func(b *testing.B) {
+			d, err := document.FromTree(epochPublishFixture(size), document.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Insert("/doc/hot", 0, xmltree.NewElement("hx")); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.Delete("/doc/hot", 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchSink += d.Stats().Nodes
 		})
 	}
 }

@@ -1,0 +1,97 @@
+// Command benchdiff compares a fresh `ruidbench -json` run against the
+// committed BENCH_baseline.json and fails (exit 1) when a benchmark
+// regresses beyond the allowed ratio. It is the CI gate keeping the
+// identifier hot paths and epoch publication honest: a change that slows
+// epoch_publish or the structural joins past the threshold fails the
+// build instead of silently shifting the baseline.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current out.json [-max-regress 0.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// result mirrors the microResult rows ruidbench -json emits.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []result
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]result, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	return byName, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+	currentPath := flag.String("current", "", "fresh ruidbench -json output to check")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed ns/op regression ratio (0.25 = +25%)")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	// The publication benches are the point of the gate: refuse to pass a
+	// run in which they went missing (renamed, dropped from the harness).
+	for _, required := range []string{"epoch_publish/nodes=5000", "epoch_publish/nodes=50000"} {
+		if _, ok := current[required]; !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: current run misses required benchmark %q\n", required)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	for name, base := range baseline {
+		cur, ok := current[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "MISSING %-32s (in baseline, not in current run)\n", name)
+			failed = true
+			continue
+		}
+		limit := base.NsPerOp * (1 + *maxRegress)
+		ratio := cur.NsPerOp / base.NsPerOp
+		status := "ok     "
+		if cur.NsPerOp > limit {
+			status = "REGRESS"
+			failed = true
+		}
+		fmt.Printf("%s %-32s %12.1f ns/op -> %12.1f ns/op  (%+.1f%%)\n",
+			status, name, base.NsPerOp, cur.NsPerOp, (ratio-1)*100)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% (or missing benchmark)\n", *maxRegress*100)
+		os.Exit(1)
+	}
+}

@@ -8,10 +8,77 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/document"
 	"repro/internal/index"
 	"repro/internal/workload"
 	"repro/internal/xmltree"
 )
+
+// publishFixture builds the EpochPublish benchmark document: a small hot
+// spot (the update target area) next to a bulk region of eight deep 8-ary
+// "section" subtrees padding the document to roughly total nodes. The bulk
+// must be deep, not flat — a flat bulk turns every section into a boundary
+// joint of the ROOT area, making the hot spot's own area scale with the
+// document. Mirrors epochPublishFixture in the repo-root bench_test.go.
+func publishFixture(total int) *xmltree.Node {
+	doc := xmltree.NewDocument()
+	root := xmltree.NewElement("doc")
+	doc.AppendChild(root)
+	hot := xmltree.NewElement("hot")
+	root.AppendChild(hot)
+	for i := 0; i < 4; i++ {
+		hot.AppendChild(xmltree.NewElement(fmt.Sprintf("h%d", i)))
+	}
+	bulk := xmltree.NewElement("bulk")
+	root.AppendChild(bulk)
+	const chunks = 8
+	for i := 0; i < chunks; i++ {
+		bulk.AppendChild(publishBulkSubtree((total - 7) / chunks))
+	}
+	return doc
+}
+
+// publishBulkSubtree returns a "section" subtree of exactly m elements with
+// fan-out at most 8 (so depth grows logarithmically in m).
+func publishBulkSubtree(m int) *xmltree.Node {
+	el := xmltree.NewElement("section")
+	m--
+	q, r := m/8, m%8
+	for i := 0; i < 8; i++ {
+		sz := q
+		if i < r {
+			sz++
+		}
+		if sz > 0 {
+			el.AppendChild(publishBulkSubtree(sz))
+		}
+	}
+	return el
+}
+
+// epochPublishBench returns one epoch_publish bench closure: a structural
+// write through the document facade (insert + delete in the hot area) with
+// incremental epoch publication. Run at two sizes an order of magnitude
+// apart, the pair exposes any publication cost that scales with document
+// size rather than with the touched area.
+func epochPublishBench(size int) func(b *testing.B) {
+	return func(b *testing.B) {
+		d, err := document.FromTree(publishFixture(size), document.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Insert("/doc/hot", 0, xmltree.NewElement("hx")); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Delete("/doc/hot", 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		microSink += d.Stats().Nodes
+	}
+}
 
 // microResult is one row of the -json output. The fields mirror what
 // `go test -benchmem` prints, so baselines diff cleanly against test runs.
@@ -135,6 +202,8 @@ func runMicrobench(out io.Writer) error {
 				microSink += len(an.AppendFollowing(buf[:0], ids[i%len(ids)]))
 			}
 		}},
+		{"epoch_publish/nodes=5000", epochPublishBench(5000)},
+		{"epoch_publish/nodes=50000", epochPublishBench(50000)},
 	}
 
 	results := make([]microResult, 0, len(benches))

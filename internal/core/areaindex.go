@@ -1,0 +1,153 @@
+package core
+
+import "fmt"
+
+// The epoch-mode representation of the table K. A flat sorted slice would
+// make every publication copy O(areas) pointers — on large documents that
+// copy (and the garbage-collector work of scanning it) dominates an
+// area-confined publish. Chunking the sorted rows turns the per-publish
+// cost into one directory copy (≈ areas / areaChunkSize entries) plus one
+// chunk copy per touched area: untouched chunks are shared with the
+// previous epoch, in the same path-copying style as the tree and the slot
+// maps. Chunks are immutable once published.
+
+// areaChunkSize bounds both the directory length and the size of the chunk
+// a publication has to copy when one of its rows changes.
+const areaChunkSize = 256
+
+// areaIndex is an immutable chunked view of the table K sorted by global
+// index: the concatenation of chunks is the full sorted row list, and
+// firstG[i] caches chunks[i][0].global for the directory search.
+type areaIndex struct {
+	chunks [][]*area
+	firstG []int64
+	rows   int
+}
+
+// newAreaIndex chunks a slice of K rows already sorted by global index.
+func newAreaIndex(sorted []*area) *areaIndex {
+	ix := &areaIndex{rows: len(sorted)}
+	for len(sorted) > 0 {
+		n := areaChunkSize
+		if n > len(sorted) {
+			n = len(sorted)
+		}
+		ix.chunks = append(ix.chunks, sorted[:n:n])
+		ix.firstG = append(ix.firstG, sorted[0].global)
+		sorted = sorted[n:]
+	}
+	return ix
+}
+
+// locate returns the position of the chunk that would hold global index g
+// (the last chunk whose first row is ≤ g), or -1 when g sorts before every
+// row. Hand-rolled binary search: this sits on the krow hot path, where a
+// sort.Search closure would allocate.
+func (ix *areaIndex) locate(g int64) int {
+	lo, hi := 0, len(ix.firstG)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.firstG[mid] <= g {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// find returns the K row with global index g.
+func (ix *areaIndex) find(g int64) (*area, bool) {
+	ci := ix.locate(g)
+	if ci < 0 {
+		return nil, false
+	}
+	chunk := ix.chunks[ci]
+	lo, hi := 0, len(chunk)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if chunk[mid].global < g {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(chunk) && chunk[lo].global == g {
+		return chunk[lo], true
+	}
+	return nil, false
+}
+
+// forEach visits every row in ascending global order.
+func (ix *areaIndex) forEach(fn func(*area)) {
+	for _, chunk := range ix.chunks {
+		for _, a := range chunk {
+			fn(a)
+		}
+	}
+}
+
+// withPatches derives the next epoch's index: rows named in patched are
+// substituted, rows named in deleted are dropped, and every chunk that
+// holds neither is shared with the receiver. Patching a row unknown to the
+// receiver is an error (updates never create areas outside a full
+// rebuild); deleting an unknown row is too.
+func (ix *areaIndex) withPatches(patched map[int64]*area, deleted []int64) (*areaIndex, error) {
+	out := &areaIndex{
+		chunks: append([][]*area(nil), ix.chunks...),
+		firstG: append([]int64(nil), ix.firstG...),
+		rows:   ix.rows,
+	}
+	owned := make(map[int]bool, len(patched)+len(deleted))
+	own := func(ci int) []*area {
+		if !owned[ci] {
+			out.chunks[ci] = append([]*area(nil), out.chunks[ci]...)
+			owned[ci] = true
+		}
+		return out.chunks[ci]
+	}
+	pos := func(g int64) (int, int, bool) {
+		ci := out.locate(g)
+		if ci < 0 {
+			return 0, 0, false
+		}
+		chunk := out.chunks[ci]
+		lo, hi := 0, len(chunk)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if chunk[mid].global < g {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(chunk) && chunk[lo].global == g {
+			return ci, lo, true
+		}
+		return 0, 0, false
+	}
+	for g, na := range patched {
+		ci, i, ok := pos(g)
+		if !ok {
+			return nil, fmt.Errorf("core: delta patched area %d unknown to the previous epoch", g)
+		}
+		own(ci)[i] = na
+	}
+	for _, g := range deleted {
+		ci, i, ok := pos(g)
+		if !ok {
+			return nil, fmt.Errorf("core: delta deleted area %d unknown to the previous epoch", g)
+		}
+		chunk := own(ci)
+		chunk = append(chunk[:i], chunk[i+1:]...)
+		out.rows--
+		if len(chunk) == 0 {
+			out.chunks = append(out.chunks[:ci], out.chunks[ci+1:]...)
+			out.firstG = append(out.firstG[:ci], out.firstG[ci+1:]...)
+			continue
+		}
+		out.chunks[ci] = chunk
+		out.firstG[ci] = chunk[0].global
+	}
+	return out, nil
+}

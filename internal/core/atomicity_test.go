@@ -1,0 +1,290 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// Write-failure atomicity (see update.go): a failed InsertChild or
+// DeleteChild must leave the master tree and every piece of numbering
+// state byte-identical to the pre-call state.
+
+// numFingerprint captures everything observable about a numbering and its
+// tree for exact before/after comparison.
+type numFingerprint struct {
+	xml        string
+	kappa      int64
+	localLimit int64
+	k          []KRow
+	ids        map[*xmltree.Node]ID
+	nodes      map[ID]*xmltree.Node
+	areaRoots  map[*xmltree.Node]bool
+	fanouts    map[int64]int64
+	rootLocals map[int64]int64
+	locals     map[int64]map[int64]*xmltree.Node
+	boundaries map[int64]map[int64]int64
+	saved      []byte
+}
+
+func fingerprint(t *testing.T, n *Numbering) numFingerprint {
+	t.Helper()
+	f := numFingerprint{
+		xml:        xmltree.Serialize(n.doc),
+		kappa:      n.kappa,
+		localLimit: n.localLimit,
+		k:          n.K(),
+		ids:        make(map[*xmltree.Node]ID, len(n.ids)),
+		nodes:      make(map[ID]*xmltree.Node, len(n.nodes)),
+		areaRoots:  make(map[*xmltree.Node]bool, len(n.areaRoots)),
+		fanouts:    make(map[int64]int64, len(n.areas)),
+		rootLocals: make(map[int64]int64, len(n.areas)),
+		locals:     make(map[int64]map[int64]*xmltree.Node, len(n.areas)),
+		boundaries: make(map[int64]map[int64]int64, len(n.areas)),
+	}
+	for x, id := range n.ids {
+		f.ids[x] = id
+	}
+	for id, x := range n.nodes {
+		f.nodes[id] = x
+	}
+	for x, ok := range n.areaRoots {
+		if ok {
+			f.areaRoots[x] = true
+		}
+	}
+	for g, a := range n.areas {
+		f.fanouts[g] = a.fanout
+		f.rootLocals[g] = a.rootLocal
+		ls := make(map[int64]*xmltree.Node, len(a.locals))
+		for l, x := range a.locals {
+			ls[l] = x
+		}
+		f.locals[g] = ls
+		bs := make(map[int64]int64, len(a.rootByLocal))
+		for l, cg := range a.rootByLocal {
+			bs[l] = cg
+		}
+		f.boundaries[g] = bs
+	}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	f.saved = buf.Bytes()
+	return f
+}
+
+func assertSameFingerprint(t *testing.T, before, after numFingerprint) {
+	t.Helper()
+	if before.xml != after.xml {
+		t.Fatalf("tree changed:\nbefore %s\nafter  %s", before.xml, after.xml)
+	}
+	if before.kappa != after.kappa || before.localLimit != after.localLimit {
+		t.Fatalf("globals changed: kappa %d→%d limit %d→%d",
+			before.kappa, after.kappa, before.localLimit, after.localLimit)
+	}
+	if !reflect.DeepEqual(before.k, after.k) {
+		t.Fatalf("table K changed:\nbefore %v\nafter  %v", before.k, after.k)
+	}
+	for name, pair := range map[string][2]interface{}{
+		"ids":        {before.ids, after.ids},
+		"nodes":      {before.nodes, after.nodes},
+		"areaRoots":  {before.areaRoots, after.areaRoots},
+		"fanouts":    {before.fanouts, after.fanouts},
+		"rootLocals": {before.rootLocals, after.rootLocals},
+		"locals":     {before.locals, after.locals},
+		"boundaries": {before.boundaries, after.boundaries},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Fatalf("%s changed:\nbefore %v\nafter  %v", name, pair[0], pair[1])
+		}
+	}
+	if !bytes.Equal(before.saved, after.saved) {
+		t.Fatalf("serialized numbering changed (%d vs %d bytes)", len(before.saved), len(after.saved))
+	}
+}
+
+func mustParse(t *testing.T, src string) *xmltree.Node {
+	t.Helper()
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestInsertRollbackOnUnhealableOverflow drives InsertChild into a
+// mid-re-enumeration overflow that healing cannot fix (the overflowing
+// node is already an area root), after earlier slots were already
+// relabeled and a child area's K row already moved. The whole update must
+// roll back.
+func TestInsertRollbackOnUnhealableOverflow(t *testing.T) {
+	doc := mustParse(t, "<r><h><c1/><c2><d/></c2><c3/></h></r>")
+	r := doc.DocumentElement()
+	h := r.FirstChildElement("h")
+	c2 := h.ChildElements("")[1]
+	n, err := Build(doc, Options{
+		Roots:     map[*xmltree.Node]bool{h: true, c2: true},
+		Partition: PartitionConfig{MaxLocalBits: 2}, // local indices ≤ 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the scenario needs h to head the area about to overflow.
+	if !n.areaRoots[h] || !n.areaRoots[c2] {
+		t.Fatalf("fixture partition changed: areaRoots=%v", n.areaRoots)
+	}
+	before := fingerprint(t, n)
+
+	// A fourth child pushes h's area to fan-out 4: slots run 2..5, past the
+	// local limit of 4, overflowing at h itself — unhealable, since h
+	// already heads its own area. Before the overflow is hit, c1 has been
+	// relabeled and c2's K row moved; all of it must roll back.
+	w := xmltree.NewElement("w")
+	st, err := n.InsertChild(h, 0, w)
+	if err == nil {
+		t.Fatalf("insert unexpectedly succeeded: %+v", st)
+	}
+	if !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+	if w.Parent != nil {
+		t.Fatalf("failed insert left child attached at %s", w.Path())
+	}
+	assertSameFingerprint(t, before, fingerprint(t, n))
+	verifyAgainstGroundTruth(t, n)
+
+	// The numbering must still accept updates after the rollback.
+	if _, err := n.DeleteChild(h, 2); err != nil {
+		t.Fatalf("delete after rollback: %v", err)
+	}
+	if _, err := n.InsertChild(h, 0, w); err != nil {
+		t.Fatalf("insert after rollback: %v", err)
+	}
+	verifyAgainstGroundTruth(t, n)
+}
+
+// TestInsertRollbackLeavesChainUntouched is the minimal §3.2 overflow
+// geometry: with 1-bit local indices any second child overflows its area
+// and no promotion can help; the attempted insert must be a perfect no-op.
+func TestInsertRollbackLeavesChainUntouched(t *testing.T) {
+	doc := mustParse(t, "<a><b><c/></b></a>")
+	n, err := Build(doc, Options{Partition: PartitionConfig{MaxAreaNodes: 1, MaxLocalBits: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.DocumentElement().FirstChildElement("b")
+	before := fingerprint(t, n)
+	d := xmltree.NewElement("d")
+	if _, err := n.InsertChild(b, 1, d); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+	if d.Parent != nil || len(b.Children) != 1 {
+		t.Fatalf("tree mutated: %s", xmltree.Serialize(doc))
+	}
+	assertSameFingerprint(t, before, fingerprint(t, n))
+	verifyAgainstGroundTruth(t, n)
+}
+
+// TestDeleteRollbackOnInjectedFailure forces the re-enumeration after a
+// cascading delete to fail (a delete cannot overflow naturally: it
+// re-enumerates fewer nodes with an unchanged fan-out) and checks that the
+// detached subtree is reattached and every dropped identifier and area —
+// the deleted subtree spans two whole areas here — is restored.
+func TestDeleteRollbackOnInjectedFailure(t *testing.T) {
+	doc := mustParse(t, "<r><s><tt><u/></tt></s><v/></r>")
+	r := doc.DocumentElement()
+	s := r.FirstChildElement("s")
+	tt := s.FirstChildElement("tt")
+	n, err := Build(doc, Options{Roots: map[*xmltree.Node]bool{s: true, tt: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.AreaCount() != 3 {
+		t.Fatalf("fixture has %d areas, want 3", n.AreaCount())
+	}
+	before := fingerprint(t, n)
+
+	injected := errors.New("injected re-enumeration failure")
+	reEnumFailHook = func(int64) error { return injected }
+	defer func() { reEnumFailHook = nil }()
+	if _, err := n.DeleteChild(r, 0); !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	assertSameFingerprint(t, before, fingerprint(t, n))
+	verifyAgainstGroundTruth(t, n)
+
+	// With the failure gone the same delete succeeds and drops both areas.
+	reEnumFailHook = nil
+	if _, err := n.DeleteChild(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.AreaCount() != 1 {
+		t.Fatalf("delete left %d areas, want 1", n.AreaCount())
+	}
+	verifyAgainstGroundTruth(t, n)
+}
+
+// TestInsertRollbackOnInjectedFailure covers the insert-side hook path on
+// a document where the update area sits below other areas (the spine is
+// non-trivial), so rollback is validated on interior geometry too.
+func TestInsertRollbackOnInjectedFailure(t *testing.T) {
+	doc := xmltree.Balanced(3, 4) // 121 nodes
+	n, err := Build(doc, Options{Partition: PartitionConfig{MaxAreaNodes: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := doc.DocumentElement().ChildElements("")[1]
+	before := fingerprint(t, n)
+
+	injected := errors.New("injected re-enumeration failure")
+	reEnumFailHook = func(int64) error { return injected }
+	defer func() { reEnumFailHook = nil }()
+	w := xmltree.NewElement("w")
+	if _, err := n.InsertChild(target, 0, w); !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if w.Parent != nil {
+		t.Fatal("failed insert left child attached")
+	}
+	assertSameFingerprint(t, before, fingerprint(t, n))
+
+	reEnumFailHook = nil
+	if _, err := n.InsertChild(target, 0, w); err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainstGroundTruth(t, n)
+}
+
+// TestEpochCloneRejectsUpdates pins the immutability contract of epoch
+// clones: structural updates must fail with ErrImmutable and change
+// nothing.
+func TestEpochCloneRejectsUpdates(t *testing.T) {
+	doc := mustParse(t, "<a><b/><c/></a>")
+	n, err := Build(doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, mapping := doc.CloneWithMap()
+	clone, err := n.CloneFor(tree, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	croot := tree.DocumentElement()
+	if _, err := clone.InsertChild(croot, 0, xmltree.NewElement("x")); !errors.Is(err, ErrImmutable) {
+		t.Fatalf("insert on epoch: err = %v, want ErrImmutable", err)
+	}
+	if _, err := clone.DeleteChild(croot, 0); !errors.Is(err, ErrImmutable) {
+		t.Fatalf("delete on epoch: err = %v, want ErrImmutable", err)
+	}
+	if _, err := clone.Repartition(PartitionConfig{}); !errors.Is(err, ErrImmutable) {
+		t.Fatalf("repartition on epoch: err = %v, want ErrImmutable", err)
+	}
+	if len(croot.Children) != 2 {
+		t.Fatal("rejected update mutated the epoch tree")
+	}
+}

@@ -92,7 +92,7 @@ func (n *Numbering) AppendAncestors(dst []ID, id ID) []ID {
 // document order.
 func (n *Numbering) AppendChildren(dst []ID, id ID) []ID {
 	g, l := n.childContext(id)
-	a, ok := n.areas[g]
+	a, ok := n.krow(g)
 	if !ok {
 		return dst
 	}
@@ -111,7 +111,7 @@ func (n *Numbering) AppendChildren(dst []ID, id ID) []ID {
 // the clustered index in place — no intermediate slices.
 func (n *Numbering) AppendDescendants(dst []ID, id ID) []ID {
 	g, l := n.childContext(id)
-	a, ok := n.areas[g]
+	a, ok := n.krow(g)
 	if !ok {
 		return dst
 	}
@@ -133,7 +133,10 @@ func (n *Numbering) AppendFollowingSiblings(dst []ID, id ID) []ID {
 	if !ok {
 		return dst
 	}
-	a := n.areas[g]
+	a, ok := n.krow(g)
+	if !ok {
+		return dst
+	}
 	p := (l-2)/a.fanout + 1
 	hi := p*a.fanout + 1
 	start, end := a.rangeBounds(l+1, hi)
@@ -151,7 +154,10 @@ func (n *Numbering) AppendPrecedingSiblings(dst []ID, id ID) []ID {
 	if !ok {
 		return dst
 	}
-	a := n.areas[g]
+	a, ok := n.krow(g)
+	if !ok {
+		return dst
+	}
 	p := (l-2)/a.fanout + 1
 	lo := (p-1)*a.fanout + 2
 	start, end := a.rangeBounds(lo, l-1)
@@ -169,7 +175,10 @@ func (n *Numbering) AppendFollowing(dst []ID, id ID) []ID {
 	cur := id
 	for {
 		if g, l, ok := n.siblingContext(cur); ok {
-			a := n.areas[g]
+			a, found := n.krow(g)
+			if !found {
+				return dst
+			}
 			p := (l-2)/a.fanout + 1
 			hi := p*a.fanout + 1
 			start, end := a.rangeBounds(l+1, hi)
@@ -198,7 +207,10 @@ func (n *Numbering) AppendPreceding(dst []ID, id ID) []ID {
 		if !ok {
 			continue
 		}
-		a := n.areas[g]
+		a, found := n.krow(g)
+		if !found {
+			continue
+		}
 		p := (l-2)/a.fanout + 1
 		lo := (p-1)*a.fanout + 2
 		start, end := a.rangeBounds(lo, l-1)

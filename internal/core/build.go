@@ -95,6 +95,18 @@ func (a *area) localsInRange(lo, hi int64) []int64 {
 
 // Numbering is a 2-level ruid numbering of one document snapshot.
 // It implements scheme.AxisScheme and scheme.Updatable.
+//
+// A Numbering exists in one of two representations:
+//
+//   - master mode (the output of Build and Load): areas/ids/nodes/areaRoots
+//     are populated and structural updates are accepted;
+//   - epoch mode (the output of CloneFor and CloneDelta): the table K is a
+//     slice sorted by global index (areaIdx), node→ID lookups read the
+//     xmltree.NodeNum stamp burned into each node, and ID→node lookups
+//     resolve through the per-area slot maps. Epoch numberings are
+//     immutable and reject updates with ErrImmutable; they exist so that
+//     epoch publication shares untouched areas structurally instead of
+//     rebuilding O(n) maps per write.
 type Numbering struct {
 	doc  *xmltree.Node
 	root *xmltree.Node
@@ -103,11 +115,28 @@ type Numbering struct {
 	kappa      int64 // frame fan-out κ
 	localLimit int64 // largest admissible local index (see MaxLocalBits)
 
-	areas map[int64]*area // by global index; the in-memory table K
+	areas map[int64]*area // by global index; the in-memory table K (master mode)
 	ids   map[*xmltree.Node]ID
 	nodes map[ID]*xmltree.Node
 
-	areaRoots map[*xmltree.Node]bool // current set S
+	areaRoots map[*xmltree.Node]bool // current set S (master mode)
+
+	areaIdx *areaIndex // the table K, chunked and sorted by global index (epoch mode)
+	size    int        // numbered-node count (epoch mode; master mode uses len(ids))
+}
+
+// epochMode reports whether n is an immutable epoch clone.
+func (n *Numbering) epochMode() bool { return n.areas == nil }
+
+// forEachArea visits every K row in either representation.
+func (n *Numbering) forEachArea(fn func(*area)) {
+	if n.areas != nil {
+		for _, a := range n.areas {
+			fn(a)
+		}
+		return
+	}
+	n.areaIdx.forEach(fn)
 }
 
 // Build constructs the 2-level ruid for doc following the algorithm of
@@ -330,6 +359,13 @@ func (n *Numbering) Kappa() int64 { return n.kappa }
 
 // K returns the global parameter table, sorted by global index (Fig. 5).
 func (n *Numbering) K() []KRow {
+	if n.epochMode() {
+		rows := make([]KRow, 0, n.areaIdx.rows)
+		n.areaIdx.forEach(func(a *area) { // chunks are already sorted by global index
+			rows = append(rows, KRow{Global: a.global, RootLocal: a.rootLocal, Fanout: a.fanout})
+		})
+		return rows
+	}
 	rows := make([]KRow, 0, len(n.areas))
 	for _, a := range n.areas {
 		rows = append(rows, KRow{Global: a.global, RootLocal: a.rootLocal, Fanout: a.fanout})
@@ -339,10 +375,20 @@ func (n *Numbering) K() []KRow {
 }
 
 // AreaCount returns the number of UID-local areas.
-func (n *Numbering) AreaCount() int { return len(n.areas) }
+func (n *Numbering) AreaCount() int {
+	if n.epochMode() {
+		return n.areaIdx.rows
+	}
+	return len(n.areas)
+}
 
 // Size returns the number of numbered nodes.
-func (n *Numbering) Size() int { return len(n.ids) }
+func (n *Numbering) Size() int {
+	if n.epochMode() {
+		return n.size
+	}
+	return len(n.ids)
+}
 
 // Root returns the numbered root element.
 func (n *Numbering) Root() *xmltree.Node { return n.root }
@@ -352,25 +398,25 @@ func (n *Numbering) Root() *xmltree.Node { return n.root }
 // small because areas are small).
 func (n *Numbering) MaxLocalIndex() int64 {
 	var max int64
-	for _, a := range n.areas {
+	n.forEachArea(func(a *area) {
 		a.ensureSorted()
 		if len(a.sortedLocals) > 0 {
 			if v := a.sortedLocals[len(a.sortedLocals)-1]; v > max {
 				max = v
 			}
 		}
-	}
+	})
 	return max
 }
 
 // MaxGlobalIndex returns the largest global index in use.
 func (n *Numbering) MaxGlobalIndex() int64 {
 	var max int64
-	for g := range n.areas {
-		if g > max {
-			max = g
+	n.forEachArea(func(a *area) {
+		if a.global > max {
+			max = a.global
 		}
-	}
+	})
 	return max
 }
 
@@ -379,7 +425,7 @@ func (n *Numbering) Name() string { return "ruid" }
 
 // IDOf implements scheme.Scheme.
 func (n *Numbering) IDOf(node *xmltree.Node) (scheme.ID, bool) {
-	id, ok := n.ids[node]
+	id, ok := n.RUID(node)
 	if !ok {
 		return nil, false
 	}
@@ -387,20 +433,69 @@ func (n *Numbering) IDOf(node *xmltree.Node) (scheme.ID, bool) {
 }
 
 // RUID returns the concrete identifier of a node, and false if the node is
-// not numbered.
+// not numbered. On a master numbering this is a map lookup; on an epoch
+// clone it reads the NodeNum stamp burned into the node at publication —
+// the stamp is always current because any node whose identifier changes is
+// freshly copied into the next epoch (never shared).
 func (n *Numbering) RUID(node *xmltree.Node) (ID, bool) {
-	id, ok := n.ids[node]
-	return id, ok
+	if n.ids != nil {
+		id, ok := n.ids[node]
+		return id, ok
+	}
+	num := node.Num
+	if num.G == 0 { // zero stamp: not numbered (global indices start at 1)
+		return ID{}, false
+	}
+	return ID{Global: num.G, Local: num.L, Root: num.R}, true
 }
 
 // NodeOf implements scheme.Scheme.
 func (n *Numbering) NodeOf(id scheme.ID) (*xmltree.Node, bool) {
-	node, ok := n.nodes[id.(ID)]
-	return node, ok
+	return n.NodeOfID(id.(ID))
 }
 
-// NodeOfID resolves a concrete identifier.
+// NodeOfID resolves a concrete identifier. On a master numbering this is a
+// map lookup; on an epoch clone the identifier is resolved through the
+// clustered per-area slot maps (the same structures the axis routines scan).
 func (n *Numbering) NodeOfID(id ID) (*xmltree.Node, bool) {
-	node, ok := n.nodes[id]
+	if n.nodes != nil {
+		node, ok := n.nodes[id]
+		return node, ok
+	}
+	return n.lookupByID(id)
+}
+
+// lookupByID resolves an identifier against the epoch-mode area index.
+// Identifier shapes (see ID): an area root's identifier carries its own
+// global index and its local slot in the upper area; an interior node's
+// identifier carries its area's global index and its own slot.
+func (n *Numbering) lookupByID(id ID) (*xmltree.Node, bool) {
+	a, ok := n.krow(id.Global)
+	if !ok {
+		return nil, false
+	}
+	if id.Root {
+		if id.Global == 1 {
+			// The document root's identifier is exactly RootID.
+			if id != RootID {
+				return nil, false
+			}
+			return a.root, true
+		}
+		if a.rootLocal != id.Local {
+			return nil, false
+		}
+		return a.root, true
+	}
+	// Interior identifier: slot 1 is the area's own root and boundary slots
+	// hold lower-area roots — both carry Root identifiers, so an interior
+	// lookup there must miss (exactly as the master nodes map would).
+	if id.Local == 1 {
+		return nil, false
+	}
+	if _, boundary := a.rootByLocal[id.Local]; boundary {
+		return nil, false
+	}
+	node, ok := a.locals[id.Local]
 	return node, ok
 }

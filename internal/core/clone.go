@@ -2,22 +2,31 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/xmltree"
 )
 
-// CloneFor re-points a deep copy of the numbering at a cloned document
-// tree: doc is the clone of the numbered document and mapping maps every
+// CloneFor re-points a copy of the numbering at a cloned document tree:
+// doc is the clone of the numbered document and mapping maps every
 // original node (attributes included) to its clone, as produced by
 // xmltree.Node.CloneWithMap.
 //
 // The clone carries exactly the same identifiers, κ and table K as the
 // original — including fan-outs enlarged by past updates — so identifiers
 // remain stable across snapshot epochs of the document facade. The clone
-// shares no mutable state with the original: every area map and slot list
-// is copied, and the per-area slot lists are pre-sorted so that reads on
-// the clone are free of lazy initialization (safe for concurrent readers).
+// is produced in epoch mode (see Numbering): the table K becomes a slice
+// sorted by global index, node→ID lookups read the NodeNum stamp this
+// function burns into every numbered clone node, and ID→node lookups
+// resolve through the copied per-area slot maps. The clone shares no
+// mutable state with the original; the per-area slot lists are pre-sorted
+// so reads on the clone are free of lazy initialization (safe for
+// concurrent readers). Epoch clones reject structural updates with
+// ErrImmutable.
 func (n *Numbering) CloneFor(doc *xmltree.Node, mapping map[*xmltree.Node]*xmltree.Node) (*Numbering, error) {
+	if n.epochMode() {
+		return nil, ErrImmutable
+	}
 	remap := func(x *xmltree.Node) (*xmltree.Node, error) {
 		c, ok := mapping[x]
 		if !ok {
@@ -35,12 +44,10 @@ func (n *Numbering) CloneFor(doc *xmltree.Node, mapping map[*xmltree.Node]*xmltr
 		opts:       n.opts,
 		kappa:      n.kappa,
 		localLimit: n.localLimit,
-		areas:      make(map[int64]*area, len(n.areas)),
-		ids:        make(map[*xmltree.Node]ID, len(n.ids)),
-		nodes:      make(map[ID]*xmltree.Node, len(n.nodes)),
-		areaRoots:  make(map[*xmltree.Node]bool, len(n.areaRoots)),
+		size:       len(n.ids),
 	}
-	for g, a := range n.areas {
+	sorted := make([]*area, 0, len(n.areas))
+	for _, a := range n.areas {
 		ar, err := remap(a.root)
 		if err != nil {
 			return nil, err
@@ -67,25 +74,228 @@ func (n *Numbering) CloneFor(doc *xmltree.Node, mapping map[*xmltree.Node]*xmltr
 		a.ensureSorted()
 		ca.sortedLocals = append([]int64(nil), a.sortedLocals...)
 		ca.sortedDirty = false
-		c.areas[g] = ca
+		sorted = append(sorted, ca)
 	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].global < sorted[j].global })
+	c.areaIdx = newAreaIndex(sorted)
 	for x, id := range n.ids {
 		cx, err := remap(x)
 		if err != nil {
 			return nil, err
 		}
-		c.ids[cx] = id
-		c.nodes[id] = cx
+		cx.Num = xmltree.NodeNum{G: id.Global, L: id.Local, R: id.Root}
 	}
-	for x, ok := range n.areaRoots {
-		if !ok {
+	return c, nil
+}
+
+// CopySet returns the set of master nodes an incremental epoch publication
+// must copy for the update described by d: the members of every dirty
+// (re-enumerated) area — boundary leaves excluded unless their K row
+// moved, since a moved row changes the leaf's identifier and its epoch
+// copy needs a fresh stamp — plus the spine of ancestors from each dirty
+// area root up to and including the document node, whose child lists must
+// be re-pointed. Attributes of copied elements are copied implicitly by
+// xmltree.CloneAlong and need not appear in the set.
+func (n *Numbering) CopySet(d *Delta) map[*xmltree.Node]bool {
+	moved := make(map[int64]bool, len(d.RowMoved))
+	for _, g := range d.RowMoved {
+		moved[g] = true
+	}
+	set := make(map[*xmltree.Node]bool)
+	for _, g := range d.Dirty {
+		a := n.areas[g]
+		if a == nil {
 			continue
 		}
-		cx, err := remap(x)
+		for _, x := range a.locals {
+			if x != a.root && n.areaRoots[x] {
+				if id, ok := n.ids[x]; ok && moved[id.Global] {
+					set[x] = true
+				}
+				continue
+			}
+			set[x] = true
+		}
+		for p := a.root.Parent; p != nil; p = p.Parent {
+			set[p] = true
+		}
+	}
+	return set
+}
+
+// CloneDelta builds the next epoch's numbering incrementally: only the
+// dirty areas' slot maps are rebuilt; areas the copied spine crosses get
+// rebound copies whose slots point at the fresh nodes; areas whose K row
+// moved get patched row copies sharing their slot maps; every other area
+// struct — and every untouched subtree — is shared with the previous
+// epoch outright.
+//
+// The receiver is the master numbering after a successful update, d its
+// Delta, prev the previous epoch's numbering (epoch mode), copies the
+// master→fresh map returned by xmltree.CloneAlong, and shared the
+// master→previous-epoch map for everything else. Fresh nodes get their
+// NodeNum stamp here, from the master's authoritative identifiers.
+func (n *Numbering) CloneDelta(prev *Numbering, d *Delta, copies, shared map[*xmltree.Node]*xmltree.Node) (*Numbering, error) {
+	if !prev.epochMode() {
+		return nil, fmt.Errorf("core: CloneDelta requires an epoch-mode previous numbering")
+	}
+	if n.epochMode() {
+		return nil, ErrImmutable
+	}
+	mapNode := func(x *xmltree.Node) (*xmltree.Node, error) {
+		if c, ok := copies[x]; ok {
+			return c, nil
+		}
+		if s, ok := shared[x]; ok {
+			return s, nil
+		}
+		return nil, fmt.Errorf("core: epoch mapping misses node %s", x.Path())
+	}
+	cdoc, err := mapNode(n.doc)
+	if err != nil {
+		return nil, err
+	}
+	croot, err := mapNode(n.root)
+	if err != nil {
+		return nil, err
+	}
+	c := &Numbering{
+		doc:        cdoc,
+		root:       croot,
+		opts:       n.opts,
+		kappa:      n.kappa,
+		localLimit: n.localLimit,
+	}
+
+	dirty := make(map[int64]bool, len(d.Dirty))
+	patched := make(map[int64]*area) // next-epoch replacements by global index
+	owned := make(map[int64]bool)    // patched areas whose maps are private (writable)
+
+	// Dirty areas: rebuild slot maps from the master's post-update state,
+	// re-pointed at the next epoch's nodes.
+	for _, g := range d.Dirty {
+		dirty[g] = true
+		ma := n.areas[g]
+		if ma == nil {
+			return nil, fmt.Errorf("core: delta names unknown area %d", g)
+		}
+		ar, err := mapNode(ma.root)
 		if err != nil {
 			return nil, err
 		}
-		c.areaRoots[cx] = true
+		ma.ensureSorted()
+		na := &area{
+			global:       g,
+			root:         ar,
+			rootLocal:    ma.rootLocal,
+			fanout:       ma.fanout,
+			parentGlobal: ma.parentGlobal,
+			rootByLocal:  make(map[int64]int64, len(ma.rootByLocal)),
+			locals:       make(map[int64]*xmltree.Node, len(ma.locals)),
+			sortedLocals: append([]int64(nil), ma.sortedLocals...),
+		}
+		for l, g2 := range ma.rootByLocal {
+			na.rootByLocal[l] = g2
+		}
+		for l, x := range ma.locals {
+			cx, err := mapNode(x)
+			if err != nil {
+				return nil, err
+			}
+			na.locals[l] = cx
+		}
+		patched[g] = na
+		owned[g] = true
 	}
+
+	// Row-moved child areas: same interior, new root slot. Start from a
+	// shallow copy sharing the previous epoch's maps; the rebind pass below
+	// splits the maps copy-on-write before its first write.
+	for _, g := range d.RowMoved {
+		if dirty[g] || patched[g] != nil {
+			continue
+		}
+		pa, ok := prev.krow(g)
+		if !ok {
+			return nil, fmt.Errorf("core: previous epoch misses area %d", g)
+		}
+		ma := n.areas[g]
+		if ma == nil {
+			return nil, fmt.Errorf("core: delta names unknown area %d", g)
+		}
+		na := *pa
+		na.rootLocal = ma.rootLocal
+		patched[g] = &na
+	}
+
+	// rebind returns a writable next-epoch copy of area g, splitting shared
+	// maps copy-on-write on first write.
+	rebind := func(g int64) (*area, error) {
+		a, ok := patched[g]
+		if !ok {
+			pa, found := prev.krow(g)
+			if !found {
+				return nil, fmt.Errorf("core: previous epoch misses area %d", g)
+			}
+			na := *pa
+			a = &na
+			patched[g] = a
+		}
+		if !owned[g] {
+			nl := make(map[int64]*xmltree.Node, len(a.locals))
+			for l, v := range a.locals {
+				nl[l] = v
+			}
+			a.locals = nl
+			owned[g] = true
+		}
+		return a, nil
+	}
+
+	// Stamp every fresh copy and re-point at it each slot that references
+	// the copied node from an area that was not rebuilt above.
+	for xm, xc := range copies {
+		id, ok := n.ids[xm]
+		if !ok {
+			continue // document node, or attributes outside the numbering
+		}
+		xc.Num = xmltree.NodeNum{G: id.Global, L: id.Local, R: id.Root}
+		if id.Root {
+			if !dirty[id.Global] {
+				a, err := rebind(id.Global)
+				if err != nil {
+					return nil, err
+				}
+				a.root = xc
+				a.locals[1] = xc
+			}
+			if pg := n.areas[id.Global].parentGlobal; pg != 0 && !dirty[pg] {
+				a, err := rebind(pg)
+				if err != nil {
+					return nil, err
+				}
+				a.locals[id.Local] = xc
+			}
+		} else if !dirty[id.Global] {
+			a, err := rebind(id.Global)
+			if err != nil {
+				return nil, err
+			}
+			a.locals[id.Local] = xc
+		}
+	}
+
+	// Merge into the chunked area index. Updates never create areas outside
+	// renumberAll (which publishes via the full CloneFor path), so the
+	// global-index set can only shrink here. withPatches shares every chunk
+	// holding no patched or deleted row with the previous epoch, so this
+	// step is proportional to the number of TOUCHED areas plus the chunk
+	// directory — not the total area count.
+	idx, err := prev.areaIdx.withPatches(patched, d.DeletedAreas)
+	if err != nil {
+		return nil, err
+	}
+	c.areaIdx = idx
+	c.size = prev.size + d.InsertedCount - len(d.Dropped)
 	return c, nil
 }

@@ -53,10 +53,11 @@ func (n *Numbering) Save(w io.Writer) error {
 			}
 		}
 	}
-	// Identifiers in deterministic document order; count first.
+	// Identifiers in deterministic document order; count first. RUID (not
+	// the ids map directly) so that epoch-mode numberings save too.
 	count := 0
 	n.root.WalkFull(func(x *xmltree.Node) bool {
-		if _, ok := n.ids[x]; ok {
+		if _, ok := n.RUID(x); ok {
 			count++
 		}
 		return true
@@ -66,7 +67,7 @@ func (n *Numbering) Save(w io.Writer) error {
 	}
 	var werr error
 	n.root.WalkFull(func(x *xmltree.Node) bool {
-		id, ok := n.ids[x]
+		id, ok := n.RUID(x)
 		if !ok {
 			return true
 		}

@@ -37,7 +37,7 @@ func (n *Numbering) reconstruct(ids []ID, withText bool) *xmltree.Node {
 	seen := make(map[ID]bool, len(ids))
 	for _, id := range ids {
 		if !seen[id] {
-			if _, ok := n.nodes[id]; ok {
+			if _, ok := n.NodeOfID(id); ok {
 				seen[id] = true
 				uniq = append(uniq, id)
 			}
@@ -53,7 +53,7 @@ func (n *Numbering) reconstruct(ids []ID, withText bool) *xmltree.Node {
 	var stack []pair
 	var leaves []pair
 	for _, id := range uniq {
-		src := n.nodes[id]
+		src, _ := n.NodeOfID(id)
 		cp := shallowCopy(src)
 		// In document order an ancestor precedes its descendants, so the
 		// enclosing selected element (if any) is on the stack: pop until
@@ -76,7 +76,7 @@ func (n *Numbering) reconstruct(ids []ID, withText bool) *xmltree.Node {
 			if len(p.copy.Children) > 0 {
 				continue
 			}
-			if src := n.nodes[p.id]; src != nil {
+			if src, _ := n.NodeOfID(p.id); src != nil {
 				if txt := src.Texts(); txt != "" {
 					p.copy.AppendChild(xmltree.NewText(txt))
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/scheme"
@@ -22,22 +23,193 @@ import (
 // Both effects are reproduced literally here: every update re-derives the
 // affected area's enumeration and reports exactly how many pre-existing
 // identifiers changed.
+//
+// # Atomicity
+//
+// Every update is all-or-nothing. The tree is mutated first (the
+// re-enumeration must see the new shape), but every numbering mutation is
+// recorded in an undo log, the update area's bookkeeping is snapshotted
+// up front, and overflow healing runs on a scratch numbering that is
+// committed only when it fully succeeds. On any error the tree mutation
+// is reverted and the log replayed backwards, leaving master tree and
+// numbering exactly as before the call.
+
+// ErrImmutable reports a structural update attempted on a published epoch
+// clone (the output of CloneFor or CloneDelta). Updates run on the master
+// numbering only.
+var ErrImmutable = errors.New("core: numbering is an immutable epoch clone")
+
+// Delta describes the exact scope of one successful update so that epoch
+// publication can copy only what changed (see CopySet and CloneDelta).
+// All node pointers refer to the master tree.
+type Delta struct {
+	Dirty        []int64   // re-enumerated areas (the update areas)
+	RowMoved     []int64   // child areas whose K-row root slot changed
+	DeletedAreas []int64   // areas that vanished with a deleted subtree
+	Relabels     []Relabel // pre-existing nodes whose identifier changed
+	Dropped      []NodeID  // nodes a delete removed, with their last identifiers
+
+	Inserted      *xmltree.Node // root of the subtree an insert attached (nil for deletes)
+	Removed       *xmltree.Node // root of the subtree a delete detached (nil for inserts)
+	Parent        *xmltree.Node // the structurally mutated parent
+	InsertedCount int           // nodes numbered for the first time
+
+	// Full marks an update that healed an overflow by re-partitioning and
+	// renumbering: the area-confined description above does not apply and
+	// publication must fall back to a full clone.
+	Full bool
+}
+
+// Relabel records one identifier change of a surviving node.
+type Relabel struct {
+	Node     *xmltree.Node
+	Old, New ID
+}
+
+// NodeID pairs a node with an identifier it held.
+type NodeID struct {
+	Node *xmltree.Node
+	ID   ID
+}
+
+// idUndo records the prior node→identifier binding of one logged mutation.
+type idUndo struct {
+	node *xmltree.Node
+	old  ID
+	had  bool
+}
+
+// rowUndo records a child area's prior K-row root slot.
+type rowUndo struct {
+	a   *area
+	old int64
+}
+
+// droppedArea records an area removed with a deleted subtree.
+type droppedArea struct {
+	a    *area
+	root *xmltree.Node
+}
+
+// updateLog accumulates every numbering mutation of one structural update.
+// Each node appears at most once in ids (re-enumeration assigns each slot
+// once and dropped nodes are never re-enumerated), which the two-pass
+// rollback relies on.
+type updateLog struct {
+	ids          []idUndo
+	rows         []rowUndo
+	droppedAreas []droppedArea
+}
+
+// setIDLogged is setID with undo logging.
+func (n *Numbering) setIDLogged(x *xmltree.Node, id ID, log *updateLog) {
+	old, had := n.ids[x]
+	log.ids = append(log.ids, idUndo{node: x, old: old, had: had})
+	n.setID(x, id)
+}
+
+// rollback restores the numbering maps to their state before the logged
+// mutations. Every identifier involved is scoped to the update area (plus
+// the K rows and identifiers of its boundary roots), so clearing and then
+// restoring exactly the logged nodes reconstructs the prior bijection.
+func (n *Numbering) rollback(log *updateLog) {
+	for _, u := range log.ids {
+		if cur, ok := n.ids[u.node]; ok {
+			if n.nodes[cur] == u.node {
+				delete(n.nodes, cur)
+			}
+			delete(n.ids, u.node)
+		}
+	}
+	for _, u := range log.ids {
+		if u.had {
+			n.ids[u.node] = u.old
+			n.nodes[u.old] = u.node
+		}
+	}
+	for i := len(log.rows) - 1; i >= 0; i-- {
+		log.rows[i].a.rootLocal = log.rows[i].old
+	}
+	for _, d := range log.droppedAreas {
+		n.areas[d.a.global] = d.a
+		n.areaRoots[d.root] = true
+	}
+}
+
+// areaSave snapshots the mutable bookkeeping of one area so a failed
+// re-enumeration can restore it wholesale.
+type areaSave struct {
+	fanout       int64
+	locals       map[int64]*xmltree.Node
+	rootByLocal  map[int64]int64
+	sortedLocals []int64
+	sortedDirty  bool
+}
+
+func saveArea(a *area) areaSave {
+	ls := make(map[int64]*xmltree.Node, len(a.locals))
+	for k, v := range a.locals {
+		ls[k] = v
+	}
+	rb := make(map[int64]int64, len(a.rootByLocal))
+	for k, v := range a.rootByLocal {
+		rb[k] = v
+	}
+	return areaSave{
+		fanout:       a.fanout,
+		locals:       ls,
+		rootByLocal:  rb,
+		sortedLocals: append([]int64(nil), a.sortedLocals...),
+		sortedDirty:  a.sortedDirty,
+	}
+}
+
+func (s areaSave) restore(a *area) {
+	a.fanout = s.fanout
+	a.locals = s.locals
+	a.rootByLocal = s.rootByLocal
+	a.sortedLocals = s.sortedLocals
+	a.sortedDirty = s.sortedDirty
+}
+
+// reEnumFailHook, when non-nil, may inject a failure before an area is
+// re-enumerated. Tests use it to exercise rollback paths that real
+// documents reach only through rare overflow geometries (a delete, for
+// instance, can never overflow naturally: it re-enumerates fewer nodes
+// with the same fan-out).
+var reEnumFailHook func(global int64) error
 
 // InsertChild implements scheme.Updatable: newChild (possibly a whole
 // subtree) becomes the pos-th child of parent. The subtree joins parent's
 // UID-local area; use Repartition to re-balance areas after bulk insertion.
 func (n *Numbering) InsertChild(parent *xmltree.Node, pos int, newChild *xmltree.Node) (scheme.UpdateStats, error) {
+	st, _, err := n.InsertChildDelta(parent, pos, newChild)
+	return st, err
+}
+
+// InsertChildDelta is InsertChild plus a Delta describing exactly which
+// numbering state changed, for incremental epoch publication. On error the
+// master tree and the numbering are exactly as before the call (newChild
+// is detached again and ownership stays with the caller).
+func (n *Numbering) InsertChildDelta(parent *xmltree.Node, pos int, newChild *xmltree.Node) (scheme.UpdateStats, *Delta, error) {
+	if n.epochMode() {
+		return scheme.UpdateStats{}, nil, ErrImmutable
+	}
 	pid, ok := n.ids[parent]
 	if !ok {
-		return scheme.UpdateStats{}, fmt.Errorf("core: insert under unnumbered node %s", parent.Path())
+		return scheme.UpdateStats{}, nil, fmt.Errorf("core: insert under unnumbered node %s", parent.Path())
 	}
 	if pos < 0 || pos > len(parent.Children) {
-		return scheme.UpdateStats{}, fmt.Errorf("core: insert position %d out of range", pos)
+		return scheme.UpdateStats{}, nil, fmt.Errorf("core: insert position %d out of range", pos)
 	}
 	parent.InsertChildAt(pos, newChild)
 
 	ga, _ := n.childContext(pid)
 	a := n.areas[ga]
+	save := saveArea(a)
+	var log updateLog
+	d := &Delta{Dirty: []int64{ga}, Inserted: newChild, Parent: parent}
+
 	need := n.areaFanout(a)
 	var st scheme.UpdateStats
 	newK := a.fanout
@@ -48,38 +220,63 @@ func (n *Numbering) InsertChild(parent *xmltree.Node, pos int, newChild *xmltree
 		newK = need
 		st.AreaRebuilds = 1
 	}
-	relabeled, err := n.reEnumerateArea(a, newK)
-	if err != nil {
-		return n.healOverflow(err, st)
+	relabeled, err := n.reEnumerateArea(a, newK, &log, d)
+	if err == nil {
+		st.Relabeled = relabeled
+		return st, d, nil
 	}
-	st.Relabeled = relabeled
-	return st, nil
+	if hst, healed := n.healOverflow(err); healed {
+		st.Add(hst)
+		return st, &Delta{Full: true, Inserted: newChild, Parent: parent}, nil
+	}
+	parent.RemoveChild(pos)
+	n.rollback(&log)
+	save.restore(a)
+	return scheme.UpdateStats{}, nil, err
 }
 
-// healOverflow recovers from a local-index overflow during an update: the
-// node where the overflow occurred is promoted to an area root and the
-// numbering is rebuilt. This is the update-time analogue of the Build-time
-// promotion loop; it is rare (it needs a wide-and-deep area) and reported
-// conservatively as a full rebuild.
-func (n *Numbering) healOverflow(err error, st scheme.UpdateStats) (scheme.UpdateStats, error) {
+// healOverflow recovers from a local-index overflow during an update by
+// promoting the node where the overflow occurred to an area root and
+// renumbering — the update-time analogue of the Build-time promotion loop,
+// rare (it needs a wide-and-deep area) and reported conservatively as a
+// full rebuild. The renumbering runs on a scratch numbering that shares
+// only the (already mutated) tree, and is committed into n only when it
+// fully succeeds: an unhealable overflow returns false with n untouched,
+// so the caller can roll the whole update back.
+func (n *Numbering) healOverflow(err error) (scheme.UpdateStats, bool) {
 	var ov *overflowError
 	if !errorsAs(err, &ov) || ov.node == nil || n.areaRoots[ov.node] {
-		return st, err
+		return scheme.UpdateStats{}, false
 	}
-	n.areaRoots[ov.node] = true
+	s := &Numbering{
+		doc:        n.doc,
+		root:       n.root,
+		opts:       n.opts,
+		localLimit: n.localLimit,
+		areaRoots:  make(map[*xmltree.Node]bool, len(n.areaRoots)+1),
+	}
+	for x, ok := range n.areaRoots {
+		if ok {
+			s.areaRoots[x] = true
+		}
+	}
+	s.areaRoots[ov.node] = true
 	for {
-		rerr := n.renumberAll()
+		rerr := s.renumberAll()
 		if rerr == nil {
 			break
 		}
-		if !errorsAs(rerr, &ov) || ov.node == nil || n.areaRoots[ov.node] {
-			return st, rerr
+		if !errorsAs(rerr, &ov) || ov.node == nil || s.areaRoots[ov.node] {
+			return scheme.UpdateStats{}, false
 		}
-		n.areaRoots[ov.node] = true
+		s.areaRoots[ov.node] = true
 	}
-	st.FullRebuild = true
-	st.Relabeled = n.Size()
-	return st, nil
+	n.kappa = s.kappa
+	n.areas = s.areas
+	n.ids = s.ids
+	n.nodes = s.nodes
+	n.areaRoots = s.areaRoots
+	return scheme.UpdateStats{FullRebuild: true, Relabeled: len(n.ids)}, true
 }
 
 // DeleteChild implements scheme.Updatable: cascading deletion of the pos-th
@@ -88,43 +285,73 @@ func (n *Numbering) healOverflow(err error, st scheme.UpdateStats) (scheme.Updat
 // positions of surviving areas are untouched (the κ-ary arithmetic
 // tolerates the gaps), so no identifier outside the update area changes.
 func (n *Numbering) DeleteChild(parent *xmltree.Node, pos int) (scheme.UpdateStats, error) {
+	st, _, err := n.DeleteChildDelta(parent, pos)
+	return st, err
+}
+
+// DeleteChildDelta is DeleteChild plus a Delta describing exactly which
+// numbering state changed, for incremental epoch publication. On error the
+// master tree and the numbering are exactly as before the call (the
+// detached subtree is reattached in place).
+func (n *Numbering) DeleteChildDelta(parent *xmltree.Node, pos int) (scheme.UpdateStats, *Delta, error) {
+	if n.epochMode() {
+		return scheme.UpdateStats{}, nil, ErrImmutable
+	}
 	pid, ok := n.ids[parent]
 	if !ok {
-		return scheme.UpdateStats{}, fmt.Errorf("core: delete under unnumbered node %s", parent.Path())
+		return scheme.UpdateStats{}, nil, fmt.Errorf("core: delete under unnumbered node %s", parent.Path())
 	}
 	if pos < 0 || pos >= len(parent.Children) {
-		return scheme.UpdateStats{}, fmt.Errorf("core: delete position %d out of range", pos)
+		return scheme.UpdateStats{}, nil, fmt.Errorf("core: delete position %d out of range", pos)
 	}
 	removed := parent.RemoveChild(pos)
-	removed.Walk(func(x *xmltree.Node) bool {
-		n.dropNode(x)
-		for _, at := range x.Attrs {
-			n.dropNode(at)
-		}
-		return true
-	})
 
 	ga, _ := n.childContext(pid)
 	a := n.areas[ga]
-	relabeled, err := n.reEnumerateArea(a, a.fanout)
-	if err != nil {
-		return n.healOverflow(err, scheme.UpdateStats{})
+	save := saveArea(a)
+	var log updateLog
+	d := &Delta{Dirty: []int64{ga}, Removed: removed, Parent: parent}
+
+	removed.Walk(func(x *xmltree.Node) bool {
+		n.dropNode(x, &log, d)
+		for _, at := range x.Attrs {
+			n.dropNode(at, &log, d)
+		}
+		return true
+	})
+	relabeled, err := n.reEnumerateArea(a, a.fanout, &log, d)
+	if err == nil {
+		return scheme.UpdateStats{Relabeled: relabeled}, d, nil
 	}
-	return scheme.UpdateStats{Relabeled: relabeled}, nil
+	if hst, healed := n.healOverflow(err); healed {
+		return hst, &Delta{Full: true, Removed: removed, Parent: parent}, nil
+	}
+	parent.InsertChildAt(pos, removed)
+	n.rollback(&log)
+	save.restore(a)
+	return scheme.UpdateStats{}, nil, err
 }
 
 // dropNode removes one deleted node from all numbering state, including the
-// whole area it roots, if any.
-func (n *Numbering) dropNode(x *xmltree.Node) {
+// whole area it roots, if any, logging everything for rollback.
+func (n *Numbering) dropNode(x *xmltree.Node, log *updateLog, d *Delta) {
 	id, ok := n.ids[x]
 	if !ok {
 		return
 	}
+	log.ids = append(log.ids, idUndo{node: x, old: id, had: true})
+	d.Dropped = append(d.Dropped, NodeID{Node: x, ID: id})
 	delete(n.ids, x)
-	delete(n.nodes, id)
+	if n.nodes[id] == x {
+		delete(n.nodes, id)
+	}
 	if n.areaRoots[x] && x != n.root {
 		delete(n.areaRoots, x)
-		delete(n.areas, id.Global)
+		if a := n.areas[id.Global]; a != nil {
+			log.droppedAreas = append(log.droppedAreas, droppedArea{a: a, root: x})
+			d.DeletedAreas = append(d.DeletedAreas, id.Global)
+			delete(n.areas, id.Global)
+		}
 	}
 }
 
@@ -152,10 +379,16 @@ func (n *Numbering) areaFanout(a *area) int64 {
 
 // reEnumerateArea re-derives the local enumeration of one area with fan-out
 // k, updating node identifiers, the K row entries of child areas whose
-// roots moved slots, and the area's slot index. It returns the number of
-// pre-existing nodes whose identifier changed. Nodes enumerated for the
-// first time (fresh insertions) are not counted.
-func (n *Numbering) reEnumerateArea(a *area, k int64) (int, error) {
+// roots moved slots, and the area's slot index, logging every mutation and
+// recording the scope in d. It returns the number of pre-existing nodes
+// whose identifier changed. Nodes enumerated for the first time (fresh
+// insertions) are not counted.
+func (n *Numbering) reEnumerateArea(a *area, k int64, log *updateLog, d *Delta) (int, error) {
+	if reEnumFailHook != nil {
+		if err := reEnumFailHook(a.global); err != nil {
+			return 0, err
+		}
+	}
 	a.fanout = k
 	a.locals = make(map[int64]*xmltree.Node, len(a.locals))
 	a.rootByLocal = make(map[int64]int64, len(a.rootByLocal))
@@ -173,9 +406,13 @@ func (n *Numbering) reEnumerateArea(a *area, k int64) (int, error) {
 			a.rootByLocal[slot] = old.Global
 			child := n.areas[old.Global]
 			if child.rootLocal != slot {
+				log.rows = append(log.rows, rowUndo{a: child, old: child.rootLocal})
 				child.rootLocal = slot
-				n.setID(x, ID{Global: old.Global, Local: slot, Root: true})
+				newID := ID{Global: old.Global, Local: slot, Root: true}
+				n.setIDLogged(x, newID, log)
 				relabeled++
+				d.RowMoved = append(d.RowMoved, old.Global)
+				d.Relabels = append(d.Relabels, Relabel{Node: x, Old: old, New: newID})
 			}
 			return nil
 		}
@@ -183,10 +420,12 @@ func (n *Numbering) reEnumerateArea(a *area, k int64) (int, error) {
 			newID := ID{Global: a.global, Local: slot, Root: false}
 			old, existed := n.ids[x]
 			if !existed {
-				n.setID(x, newID)
+				n.setIDLogged(x, newID, log)
+				d.InsertedCount++
 			} else if old != newID {
-				n.setID(x, newID)
+				n.setIDLogged(x, newID, log)
 				relabeled++
+				d.Relabels = append(d.Relabels, Relabel{Node: x, Old: old, New: newID})
 			}
 		}
 		for j, c := range x.StructuralChildren(n.opts.WithAttrs) {
@@ -210,6 +449,9 @@ func (n *Numbering) reEnumerateArea(a *area, k int64) (int, error) {
 // partition, re-balancing areas after bulk structural change. It returns
 // the number of nodes whose identifier changed.
 func (n *Numbering) Repartition(cfg PartitionConfig) (int, error) {
+	if n.epochMode() {
+		return 0, ErrImmutable
+	}
 	old := make(map[*xmltree.Node]ID, len(n.ids))
 	for x, id := range n.ids {
 		old[x] = id

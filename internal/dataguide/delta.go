@@ -1,0 +1,86 @@
+package dataguide
+
+import "repro/internal/xmltree"
+
+// Incremental maintenance: epoch publication derives the next epoch's
+// guide from the previous one plus the single inserted or removed subtree,
+// instead of re-walking the document. The receiver is never mutated —
+// published epochs share no mutable guide state — so WithUpdate deep-copies
+// the trie (a structure "typically orders of magnitude below the node
+// count", see Size) and adjusts the copy.
+
+// WithUpdate returns a copy of the guide in which the element counts of
+// the subtree rooted at sub have been added (delta = +1) or removed
+// (delta = -1). prefix is the label path from the document's root element
+// down to and including sub's parent element (empty when sub is the root
+// element itself, which no structural update produces). Trie nodes whose
+// count drops to zero are pruned with their descendants. A nil result
+// signals an inconsistency between guide and update (unknown prefix, or
+// removal of an unrecorded path); callers should rebuild with Build.
+func (g *Guide) WithUpdate(prefix []string, sub *xmltree.Node, delta int) *Guide {
+	ng := g.clone()
+	at := ng.root
+	for _, label := range prefix {
+		at = at.Children[label]
+		if at == nil {
+			return nil
+		}
+	}
+	if !ng.apply(at, sub, delta) {
+		return nil
+	}
+	return ng
+}
+
+// apply adjusts the counts along sub's shape below trie node at; it
+// reports false on an inconsistent removal.
+func (g *Guide) apply(at *Node, sub *xmltree.Node, delta int) bool {
+	if sub.Kind != xmltree.Element {
+		return true // text/comment/PI subtrees don't show in the guide
+	}
+	child := at.Children[sub.Name]
+	if child == nil {
+		if delta < 0 {
+			return false
+		}
+		child = &Node{Label: sub.Name, Children: map[string]*Node{}}
+		at.Children[sub.Name] = child
+		g.paths++
+	}
+	child.Count += delta
+	if child.Count < 0 {
+		return false
+	}
+	for _, c := range sub.Children {
+		if !g.apply(child, c, delta) {
+			return false
+		}
+	}
+	if child.Count == 0 {
+		delete(at.Children, sub.Name)
+		g.paths -= pathCount(child)
+	}
+	return true
+}
+
+// pathCount returns the number of label paths a trie subtree contributes.
+func pathCount(n *Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += pathCount(c)
+	}
+	return total
+}
+
+// clone returns a deep copy of the guide.
+func (g *Guide) clone() *Guide {
+	var cp func(*Node) *Node
+	cp = func(n *Node) *Node {
+		c := &Node{Label: n.Label, Count: n.Count, Children: make(map[string]*Node, len(n.Children))}
+		for k, v := range n.Children {
+			c.Children[k] = cp(v)
+		}
+		return c
+	}
+	return &Guide{root: cp(g.root), paths: g.paths}
+}

@@ -190,6 +190,118 @@ func TestConcurrentWriters(t *testing.T) {
 	}
 }
 
+// TestConcurrentMultiEpochPinning extends the reader/writer race to
+// interleaved multi-epoch pinning: each reader holds a ring of pinned
+// snapshots spanning several epochs, recording the serialized tree and a
+// query answer at pin time, and re-validates every pinned epoch on every
+// iteration while the writer keeps publishing. With structural sharing
+// between epochs this is the test that catches any write-side mutation
+// leaking into an already-published epoch (and, under -race, any
+// unsynchronized access through shared subtrees).
+func TestConcurrentMultiEpochPinning(t *testing.T) {
+	d, err := document.OpenString(librarySrc, document.Options{
+		Partition: coreSmallPartition(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers = 4
+		writes  = 30
+		pinned  = 5 // epochs held live per reader, spanning many writes
+	)
+	queries := []string{"//book/title", "//book//author", "/library/shelf/book"}
+
+	type pin struct {
+		snap *document.Snapshot
+		xml  string
+		ans  map[string]string // query → sorted result paths at pin time
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, readers+1)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var ring []pin
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := d.Snapshot()
+				p := pin{snap: snap, xml: xmltree.Serialize(snap.Tree()), ans: map[string]string{}}
+				for _, q := range queries {
+					res, _, err := snap.Query(q)
+					if err != nil {
+						errc <- fmt.Errorf("reader %d pin epoch %d: %q: %v", r, snap.Epoch(), q, err)
+						return
+					}
+					p.ans[q] = strings.Join(sortedPaths(res), "|")
+				}
+				ring = append(ring, p)
+				if len(ring) > pinned {
+					ring = ring[1:]
+				}
+				// Every pinned epoch — up to `pinned` epochs old, sharing
+				// subtrees with newer ones — must still serialize and answer
+				// exactly as it did when pinned.
+				for _, old := range ring {
+					if got := xmltree.Serialize(old.snap.Tree()); got != old.xml {
+						errc <- fmt.Errorf("reader %d: epoch %d tree mutated after publication",
+							r, old.snap.Epoch())
+						return
+					}
+					for _, q := range queries {
+						res, _, err := old.snap.Query(q)
+						if err != nil {
+							errc <- fmt.Errorf("reader %d revalidate epoch %d: %q: %v",
+								r, old.snap.Epoch(), q, err)
+							return
+						}
+						if got := strings.Join(sortedPaths(res), "|"); got != old.ans[q] {
+							errc <- fmt.Errorf("reader %d: epoch %d answer drifted for %q:\npinned %s\nnow    %s",
+								r, old.snap.Epoch(), q, old.ans[q], got)
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < writes; i++ {
+			shelf := fmt.Sprintf("//shelf[@floor='%d']", i%2+1)
+			if _, err := d.Insert(shelf, 0, newBook(i)); err != nil {
+				errc <- fmt.Errorf("writer insert %d: %v", i, err)
+				return
+			}
+			if i%4 == 3 {
+				if _, err := d.Delete(shelf, 0); err != nil {
+					errc <- fmt.Errorf("writer delete %d: %v", i, err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
 // oracleOnTree evaluates q over an arbitrary tree with pointer navigation
 // and returns the joined sorted result paths.
 func oracleOnTree(tree *xmltree.Node, q string) (string, error) {

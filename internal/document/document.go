@@ -10,10 +10,10 @@
 // writers, with snapshot isolation:
 //
 //   - Readers pin an immutable epoch with Snapshot (or implicitly through
-//     Query). An epoch bundles a private copy of the tree, a copy-on-write
-//     clone of the numbering (κ, the table K, the per-area clustered slot
-//     lists) and the index postings; nothing in a published epoch is ever
-//     mutated again, so readers share epochs freely without locks.
+//     Query). An epoch bundles a tree, a numbering (κ, the table K, the
+//     per-area clustered slot lists), the index postings and the guide;
+//     nothing reachable from a published epoch is ever mutated again, so
+//     readers share epochs freely without locks.
 //   - Writers serialize on an internal mutex and mutate the writer-private
 //     master tree. Identifier maintenance on the master is the paper's
 //     incremental §3.2 algorithm: an insert or delete re-enumerates only
@@ -24,8 +24,37 @@
 //
 // A reader holding an old epoch keeps querying it consistently — queries
 // racing updates observe either the pre- or post-update document, never a
-// mix. Epoch publication copies the document (O(n)); the area-confined
-// relabeling statistics still reflect the paper's update-scope claims.
+// mix.
+//
+// # Incremental epoch publication
+//
+// Publication is area-confined, mirroring the paper's update-scope claim:
+// the writer copies only the update area's nodes plus the spine of
+// ancestors up to the document node (xmltree.CloneAlong), and the next
+// epoch structurally shares every untouched subtree, posting list, guide
+// trie and K row with the previous epoch (core.CloneDelta,
+// index.ApplyDelta, dataguide.WithUpdate). Publication cost therefore
+// scales with the area budget, not the document size. Two invariants make
+// the sharing safe:
+//
+//   - Deep immutability: no node, slot map, posting list or guide node
+//     reachable from a published epoch is ever written again. Any node
+//     whose identifier changes is freshly copied into the next epoch.
+//   - Shared nodes keep the Parent pointers of the epoch they were first
+//     copied into, so upward navigation inside an epoch goes through the
+//     numbering's identifier arithmetic (RParent), never through Parent
+//     pointers; downward navigation (Children, Attrs) is always
+//     consistent.
+//
+// Updates that heal a local-index overflow by re-partitioning (reported as
+// FullRebuild) fall back to a full clone publication.
+//
+// # Write-failure atomicity
+//
+// A failed Insert or Delete is a no-op: core's update operations roll back
+// the tree mutation and every numbering change on any error path, no epoch
+// is published, and the master stays byte-identical to the last published
+// epoch's state. Readers never observe a partial write.
 package document
 
 import (
@@ -46,8 +75,11 @@ import (
 // Options configure Open.
 type Options struct {
 	// Partition controls UID-local area selection for the ruid numbering.
-	// The zero value selects a serving-oriented default (area budget 64,
-	// §2.3 fan-out adjustment on).
+	// Zero fields select serving-oriented defaults individually (area
+	// budget 64, §2.3 fan-out adjustment on); explicitly set fields are
+	// honored. Note AdjustFanout defaults to true only when the whole
+	// struct is zero: a caller who sets any partition field makes the
+	// fan-out decision too.
 	Partition core.PartitionConfig
 	// WithAttrs numbers attribute nodes too (§4: "all components of XML
 	// document trees").
@@ -56,8 +88,10 @@ type Options struct {
 
 func (o Options) coreOptions() core.Options {
 	p := o.Partition
-	if p.MaxAreaNodes == 0 {
+	if p == (core.PartitionConfig{}) {
 		p = core.PartitionConfig{MaxAreaNodes: 64, AdjustFanout: true}
+	} else if p.MaxAreaNodes == 0 {
+		p.MaxAreaNodes = 64
 	}
 	return core.Options{Partition: p, WithAttrs: o.WithAttrs}
 }
@@ -72,6 +106,18 @@ type Document struct {
 	master *xmltree.Node // writer-private tree; never exposed to readers
 	num    *core.Numbering
 
+	// m2e maps every live master node (attributes included) to its
+	// counterpart in the newest published epoch. Incremental publication
+	// resolves shared subtrees through it and re-points the entries of
+	// freshly copied nodes.
+	m2e map[*xmltree.Node]*xmltree.Node
+
+	// nodeCount and depthSum maintain the planner's cardinality statistics
+	// (non-attribute nodes from the root element down; sum of their
+	// depths) incrementally, so publication need not re-walk the document.
+	nodeCount int
+	depthSum  int
+
 	epoch uint64
 	cur   atomic.Pointer[Snapshot]
 }
@@ -79,6 +125,8 @@ type Document struct {
 // Snapshot is one immutable epoch of a Document: a consistent bundle of
 // tree, numbering, name index, DataGuide and planner. Snapshots are safe
 // for concurrent use and stay valid (and unchanged) after later updates.
+// Successive epochs structurally share untouched subtrees; see the package
+// comment for the navigation invariant this implies.
 type Snapshot struct {
 	epoch   uint64
 	tree    *xmltree.Node
@@ -114,20 +162,47 @@ func FromTree(doc *xmltree.Node, opts Options) (*Document, error) {
 		return nil, err
 	}
 	d := &Document{opts: copts, master: doc, num: num}
+	num.Root().Walk(func(x *xmltree.Node) bool {
+		d.nodeCount++
+		d.depthSum += x.Depth()
+		return true
+	})
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d, d.publishLocked()
+	return d, d.publishFullLocked()
 }
 
-// publishLocked clones the master tree, re-points a copy of the numbering
-// at the clone and atomically installs the bundle as the next epoch.
-// Callers hold d.mu.
-func (d *Document) publishLocked() error {
+// publishLocked installs the next epoch after a successful update. With an
+// area-confined delta it copies only the dirty area and its root spine,
+// sharing everything else with the previous epoch; a full-rebuild delta
+// (overflow healing) falls back to a full clone. Callers hold d.mu.
+func (d *Document) publishLocked(delta *core.Delta) error {
+	prev := d.cur.Load()
+	if prev == nil || delta == nil || delta.Full {
+		return d.publishFullLocked()
+	}
+	snap, err := d.assembleDeltaLocked(prev, delta)
+	if err != nil {
+		// Incremental assembly fails only on an internal invariant
+		// violation; a full publication always recovers a consistent epoch.
+		return d.publishFullLocked()
+	}
+	d.epoch++
+	snap.epoch = d.epoch
+	d.cur.Store(snap)
+	return nil
+}
+
+// publishFullLocked clones the master tree, re-points a copy of the
+// numbering at the clone and atomically installs the bundle as the next
+// epoch. Callers hold d.mu.
+func (d *Document) publishFullLocked() error {
 	tree, mapping := d.master.CloneWithMap()
 	num, err := d.num.CloneFor(tree, mapping)
 	if err != nil {
 		return err
 	}
+	d.m2e = mapping
 	d.epoch++
 	d.cur.Store(&Snapshot{
 		epoch:   d.epoch,
@@ -136,6 +211,107 @@ func (d *Document) publishLocked() error {
 		planner: query.New(tree, num),
 	})
 	return nil
+}
+
+// assembleDeltaLocked builds the next epoch incrementally from the
+// previous one and the update's delta. Callers hold d.mu.
+func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta) (*Snapshot, error) {
+	copySet := d.num.CopySet(delta)
+	tree, copies, err := d.master.CloneAlong(copySet, d.m2e)
+	if err != nil {
+		return nil, err
+	}
+	num, err := d.num.CloneDelta(prev.num, delta, copies, d.m2e)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := d.applyIndexDelta(prev, num, delta)
+	if err != nil {
+		return nil, err
+	}
+	guide := d.applyGuideDelta(prev, delta)
+	// Commit the master→epoch mapping only once every component assembled.
+	for xm, xc := range copies {
+		d.m2e[xm] = xc
+	}
+	if delta.Removed != nil {
+		delta.Removed.WalkFull(func(x *xmltree.Node) bool {
+			delete(d.m2e, x)
+			return true
+		})
+	}
+	return &Snapshot{
+		tree:    tree,
+		num:     num,
+		planner: query.NewWithState(tree, num, ix, guide, d.nodeCount, d.depthSum),
+	}, nil
+}
+
+// applyIndexDelta translates the update's delta into per-name posting
+// edits and derives the next epoch's index from the previous one.
+func (d *Document) applyIndexDelta(prev *Snapshot, num *core.Numbering, delta *core.Delta) (*index.NameIndex, error) {
+	relabeled := make(map[string]map[core.ID]core.ID)
+	for _, r := range delta.Relabels {
+		if r.Node.Kind != xmltree.Element {
+			continue
+		}
+		m := relabeled[r.Node.Name]
+		if m == nil {
+			m = make(map[core.ID]core.ID)
+			relabeled[r.Node.Name] = m
+		}
+		m[r.Old] = r.New
+	}
+	removed := make(map[string]map[core.ID]bool)
+	for _, p := range delta.Dropped {
+		if p.Node.Kind != xmltree.Element {
+			continue
+		}
+		m := removed[p.Node.Name]
+		if m == nil {
+			m = make(map[core.ID]bool)
+			removed[p.Node.Name] = m
+		}
+		m[p.ID] = true
+	}
+	inserted := make(map[string][]core.ID)
+	if delta.Inserted != nil {
+		delta.Inserted.Walk(func(x *xmltree.Node) bool {
+			if x.Kind == xmltree.Element {
+				if id, ok := d.num.RUID(x); ok {
+					inserted[x.Name] = append(inserted[x.Name], id)
+				}
+			}
+			return true
+		})
+	}
+	return prev.Index().ApplyDelta(num, relabeled, removed, inserted)
+}
+
+// applyGuideDelta derives the next epoch's DataGuide from the previous
+// one and the single inserted or removed subtree.
+func (d *Document) applyGuideDelta(prev *Snapshot, delta *core.Delta) *dataguide.Guide {
+	sub, sign := delta.Inserted, +1
+	if sub == nil {
+		sub, sign = delta.Removed, -1
+	}
+	if sub == nil {
+		return prev.Guide()
+	}
+	var prefix []string
+	for p := delta.Parent; p != nil && p.Kind == xmltree.Element; p = p.Parent {
+		prefix = append(prefix, p.Name)
+	}
+	for i, j := 0, len(prefix)-1; i < j; i, j = i+1, j-1 {
+		prefix[i], prefix[j] = prefix[j], prefix[i]
+	}
+	if g := prev.Guide().WithUpdate(prefix, sub, sign); g != nil {
+		return g
+	}
+	// Inconsistency between guide and delta: rebuild from the master (the
+	// guide holds label paths and counts only, no node pointers, so it is
+	// safe to share with the epoch).
+	return dataguide.Build(d.master)
 }
 
 // Snapshot pins the current epoch. The returned snapshot never changes;
@@ -153,7 +329,9 @@ func (d *Document) Query(q string) ([]*xmltree.Node, query.Plan, error) {
 // the first element matched by parentPath (an XPath location path,
 // evaluated in document order against the latest state) and publishes a
 // new epoch. It returns the paper's §3.2 relabeling statistics. The
-// Document takes ownership of child.
+// Document takes ownership of child on success; a failed insert leaves the
+// document unchanged (no epoch is published) and ownership of the detached
+// child with the caller.
 func (d *Document) Insert(parentPath string, pos int, child *xmltree.Node) (scheme.UpdateStats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -161,15 +339,19 @@ func (d *Document) Insert(parentPath string, pos int, child *xmltree.Node) (sche
 	if err != nil {
 		return scheme.UpdateStats{}, err
 	}
-	st, err := d.num.InsertChild(parent, pos, child)
+	st, delta, err := d.num.InsertChildDelta(parent, pos, child)
 	if err != nil {
 		return st, err
 	}
-	return st, d.publishLocked()
+	count, depths := subtreeStats(child, parent.Depth()+1)
+	d.nodeCount += count
+	d.depthSum += depths
+	return st, d.publishLocked(delta)
 }
 
 // Delete removes (cascading) the pos-th child of the first element matched
-// by parentPath and publishes a new epoch.
+// by parentPath and publishes a new epoch. A failed delete leaves the
+// document unchanged and publishes nothing.
 func (d *Document) Delete(parentPath string, pos int) (scheme.UpdateStats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -177,11 +359,26 @@ func (d *Document) Delete(parentPath string, pos int) (scheme.UpdateStats, error
 	if err != nil {
 		return scheme.UpdateStats{}, err
 	}
-	st, err := d.num.DeleteChild(parent, pos)
+	st, delta, err := d.num.DeleteChildDelta(parent, pos)
 	if err != nil {
 		return st, err
 	}
-	return st, d.publishLocked()
+	count, depths := subtreeStats(delta.Removed, parent.Depth()+1)
+	d.nodeCount -= count
+	d.depthSum -= depths
+	return st, d.publishLocked(delta)
+}
+
+// subtreeStats counts the non-attribute nodes of the subtree rooted at x
+// and sums their depths, with x itself at the given depth.
+func subtreeStats(x *xmltree.Node, depth int) (count, depths int) {
+	count, depths = 1, depth
+	for _, c := range x.Children {
+		cc, cd := subtreeStats(c, depth+1)
+		count += cc
+		depths += cd
+	}
+	return count, depths
 }
 
 // findOneLocked resolves a writer's target path against the master tree
@@ -227,7 +424,10 @@ func (d *Document) Stats() Stats {
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Tree returns the snapshot's immutable document tree. Callers must not
-// mutate it (it is shared by every reader of this epoch).
+// mutate it (it is shared by every reader of this epoch, and its untouched
+// subtrees by later epochs). Parent pointers inside subtrees shared with
+// an earlier epoch point into that earlier epoch; navigate upward through
+// the numbering instead.
 func (s *Snapshot) Tree() *xmltree.Node { return s.tree }
 
 // Numbering returns the snapshot's ruid numbering.

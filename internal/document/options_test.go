@@ -1,0 +1,72 @@
+package document
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCoreOptionsPartialConfigs pins the defaulting rules of
+// Options.coreOptions: a fully zero PartitionConfig selects the serving
+// defaults (budget 64, fan-out adjustment on), while a partially set one
+// has only its zero MaxAreaNodes defaulted — the other fields, including
+// AdjustFanout, pass through untouched. A config with only MaxAreaDepth or
+// MaxLocalBits set used to be replaced wholesale by the defaults.
+func TestCoreOptionsPartialConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Options
+		want core.Options
+	}{
+		{
+			name: "zero selects serving defaults",
+			in:   Options{},
+			want: core.Options{Partition: core.PartitionConfig{MaxAreaNodes: 64, AdjustFanout: true}},
+		},
+		{
+			name: "budget only passes through",
+			in:   Options{Partition: core.PartitionConfig{MaxAreaNodes: 10}},
+			want: core.Options{Partition: core.PartitionConfig{MaxAreaNodes: 10}},
+		},
+		{
+			name: "depth only keeps depth, defaults budget",
+			in:   Options{Partition: core.PartitionConfig{MaxAreaDepth: 3}},
+			want: core.Options{Partition: core.PartitionConfig{MaxAreaNodes: 64, MaxAreaDepth: 3}},
+		},
+		{
+			name: "local bits only keeps bits, defaults budget",
+			in:   Options{Partition: core.PartitionConfig{MaxLocalBits: 7}},
+			want: core.Options{Partition: core.PartitionConfig{MaxAreaNodes: 64, MaxLocalBits: 7}},
+		},
+		{
+			name: "adjust only keeps adjust, defaults budget",
+			in:   Options{Partition: core.PartitionConfig{AdjustFanout: true}},
+			want: core.Options{Partition: core.PartitionConfig{MaxAreaNodes: 64, AdjustFanout: true}},
+		},
+		{
+			name: "fully set passes through",
+			in: Options{Partition: core.PartitionConfig{
+				MaxAreaNodes: 5, MaxAreaDepth: 2, AdjustFanout: true, MaxLocalBits: 9,
+			}},
+			want: core.Options{Partition: core.PartitionConfig{
+				MaxAreaNodes: 5, MaxAreaDepth: 2, AdjustFanout: true, MaxLocalBits: 9,
+			}},
+		},
+		{
+			name: "attrs orthogonal to partition defaulting",
+			in:   Options{WithAttrs: true},
+			want: core.Options{
+				Partition: core.PartitionConfig{MaxAreaNodes: 64, AdjustFanout: true},
+				WithAttrs: true,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.coreOptions()
+			if got.Partition != tc.want.Partition || got.WithAttrs != tc.want.WithAttrs || got.Roots != nil {
+				t.Fatalf("coreOptions(%+v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

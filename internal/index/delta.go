@@ -1,0 +1,84 @@
+package index
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Incremental maintenance for ruid-backed indexes: epoch publication calls
+// ApplyDelta with the scope of one structural update instead of re-walking
+// the document with Build. Postings of untouched names are shared with the
+// previous epoch's index, honoring the facade's immutability invariant
+// (neither index is ever mutated).
+
+// ErrNotRUID reports an ApplyDelta on a generic (boxed) index, which has no
+// incremental path.
+var ErrNotRUID = errors.New("index: ApplyDelta requires a ruid-backed index")
+
+// ApplyDelta returns the next epoch's index: for every name in relabeled /
+// removed / inserted, a fresh posting list is derived from the previous one
+// (identifiers substituted in place, removed entries dropped, and the
+// inserted run — one subtree's elements, contiguous in document order —
+// spliced at its position); every other name shares its posting slice with
+// the receiver. rn becomes the new index's numbering and is used for the
+// document-order comparisons of the splice; it must be the next epoch's
+// (or the master's post-update) numbering.
+func (ix *NameIndex) ApplyDelta(
+	rn *core.Numbering,
+	relabeled map[string]map[core.ID]core.ID,
+	removed map[string]map[core.ID]bool,
+	inserted map[string][]core.ID,
+) (*NameIndex, error) {
+	if ix.ruid == nil {
+		return nil, ErrNotRUID
+	}
+	out := &NameIndex{s: rn, ruid: rn, ruidByName: make(map[string][]core.ID, len(ix.ruidByName))}
+	for name, ps := range ix.ruidByName {
+		out.ruidByName[name] = ps
+	}
+	touched := make(map[string]bool, len(relabeled)+len(removed)+len(inserted))
+	for name := range relabeled {
+		touched[name] = true
+	}
+	for name := range removed {
+		touched[name] = true
+	}
+	for name := range inserted {
+		touched[name] = true
+	}
+	for name := range touched {
+		old := out.ruidByName[name]
+		rl := relabeled[name]
+		rm := removed[name]
+		ins := inserted[name]
+		list := make([]core.ID, 0, len(old)+len(ins))
+		for _, id := range old {
+			if rm[id] {
+				continue
+			}
+			if nid, ok := rl[id]; ok {
+				id = nid
+			}
+			list = append(list, id)
+		}
+		if len(ins) > 0 {
+			// Relabeling within one area preserves relative document order,
+			// so the surviving list is still sorted and the contiguous
+			// inserted run lands at a single position.
+			pos := sort.Search(len(list), func(i int) bool {
+				return rn.CompareOrderID(list[i], ins[0]) > 0
+			})
+			list = append(list, ins...)
+			copy(list[pos+len(ins):], list[pos:len(list)-len(ins)])
+			copy(list[pos:], ins)
+		}
+		if len(list) == 0 {
+			delete(out.ruidByName, name)
+		} else {
+			out.ruidByName[name] = list
+		}
+	}
+	return out, nil
+}

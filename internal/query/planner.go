@@ -116,6 +116,27 @@ func New(doc *xmltree.Node, s scheme.AxisScheme) *Planner {
 	return p
 }
 
+// NewWithState builds a planner over doc from pre-assembled components —
+// the incremental epoch-publication path of the document facade, which
+// patches the previous epoch's index and guide and maintains the
+// cardinality statistics itself instead of re-walking the document.
+// nodes and depthTotal are the non-attribute node count of the tree below
+// (and including) the root element and the sum of their depths.
+func NewWithState(doc *xmltree.Node, s scheme.AxisScheme, ix *index.NameIndex, guide *dataguide.Guide, nodes, depthTotal int) *Planner {
+	p := &Planner{
+		doc:    doc,
+		s:      s,
+		ix:     ix,
+		guide:  guide,
+		engine: xpath.NewEngine(doc, xpath.SchemeNavigator{S: s}),
+		nodes:  nodes,
+	}
+	if nodes > 0 {
+		p.meanDepth = float64(depthTotal) / float64(nodes)
+	}
+	return p
+}
+
 // Index exposes the planner's name index (for statistics and tests).
 func (p *Planner) Index() *index.NameIndex { return p.ix }
 

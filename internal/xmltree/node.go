@@ -49,6 +49,17 @@ func (k Kind) String() string {
 	}
 }
 
+// NodeNum is an opaque numbering stamp a scheme may burn into a node when
+// it publishes an immutable copy of a numbered tree: the stamp lets the
+// copy answer node→identifier lookups without any per-copy map. The zero
+// value means "not stamped" (G is never 0 in a valid stamp). xmltree does
+// not interpret the fields; internal/core writes its 2-level ruid
+// (global, local, root-flag) here when cloning an epoch.
+type NodeNum struct {
+	G, L int64
+	R    bool
+}
+
 // Node is a node of an XML tree. The zero value is not useful; create nodes
 // with the NewX constructors or by parsing.
 //
@@ -63,6 +74,7 @@ type Node struct {
 	Parent   *Node   // nil for the document node
 	Children []*Node // element and document nodes only
 	Attrs    []*Node // element nodes only; each has Kind == Attribute
+	Num      NodeNum // numbering stamp of immutable epoch copies (see NodeNum)
 }
 
 // NewDocument returns an empty document node.
@@ -338,12 +350,12 @@ func (n *Node) CloneWithMap() (*Node, map[*Node]*Node) {
 }
 
 func (n *Node) cloneInto(m map[*Node]*Node) *Node {
-	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data, Num: n.Num}
 	if m != nil {
 		m[n] = c
 	}
 	for _, a := range n.Attrs {
-		ac := &Node{Kind: Attribute, Name: a.Name, Data: a.Data, Parent: c}
+		ac := &Node{Kind: Attribute, Name: a.Name, Data: a.Data, Parent: c, Num: a.Num}
 		if m != nil {
 			m[a] = ac
 		}

@@ -1,0 +1,65 @@
+package xmltree
+
+import "fmt"
+
+// CloneAlong produces a partial deep copy of the subtree rooted at n for
+// copy-on-write epoch publication: nodes in copySet are copied afresh (the
+// attributes of a copied node are always copied with it), while children
+// outside copySet are resolved through shared — the mapping from this
+// tree's nodes to their counterparts in the previous copy — and reused
+// as-is, structurally sharing whole untouched subtrees between copies.
+//
+// Shared nodes keep the Parent pointers of the copy they were first
+// created in, so upward pointer navigation from inside a shared subtree
+// does not reach the new copy's root; readers of partial copies must
+// navigate upward through a numbering scheme (or stay within one copy's
+// freshly copied region). Downward navigation (Children, Attrs) is always
+// consistent. CloneAlong never mutates n's tree or any previous copy.
+//
+// n itself must be in copySet. The returned map holds exactly the nodes
+// this call copied (attributes included), keyed by the original; an error
+// reports a child that is neither in copySet nor known to shared.
+func (n *Node) CloneAlong(copySet map[*Node]bool, shared map[*Node]*Node) (*Node, map[*Node]*Node, error) {
+	if !copySet[n] {
+		return nil, nil, fmt.Errorf("xmltree: CloneAlong root %s not in copy set", n.Path())
+	}
+	copies := make(map[*Node]*Node, len(copySet)+1)
+	var clone func(x *Node) (*Node, error)
+	clone = func(x *Node) (*Node, error) {
+		c := &Node{Kind: x.Kind, Name: x.Name, Data: x.Data, Num: x.Num}
+		copies[x] = c
+		if len(x.Attrs) > 0 {
+			c.Attrs = make([]*Node, len(x.Attrs))
+			for i, a := range x.Attrs {
+				ac := &Node{Kind: Attribute, Name: a.Name, Data: a.Data, Parent: c, Num: a.Num}
+				copies[a] = ac
+				c.Attrs[i] = ac
+			}
+		}
+		if len(x.Children) > 0 {
+			c.Children = make([]*Node, len(x.Children))
+			for i, ch := range x.Children {
+				if copySet[ch] {
+					cc, err := clone(ch)
+					if err != nil {
+						return nil, err
+					}
+					cc.Parent = c
+					c.Children[i] = cc
+					continue
+				}
+				sh, ok := shared[ch]
+				if !ok {
+					return nil, fmt.Errorf("xmltree: CloneAlong has no shared copy for %s", ch.Path())
+				}
+				c.Children[i] = sh
+			}
+		}
+		return c, nil
+	}
+	root, err := clone(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, copies, nil
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/xmltree"
 )
@@ -27,22 +28,36 @@ type Navigator interface {
 
 // Engine evaluates location paths over one document snapshot.
 type Engine struct {
-	doc  *xmltree.Node
-	nav  Navigator
-	rank map[*xmltree.Node]int // document-order rank, attributes included
+	doc      *xmltree.Node
+	nav      Navigator
+	rankOnce sync.Once
+	rank     map[*xmltree.Node]int // document-order rank, attributes included
 }
 
 // NewEngine returns an engine over doc (its Document node) using nav for
-// the positional axes.
+// the positional axes. Construction is O(1): the document-order rank map
+// (needed only to sort node-sets that merge several context nodes or come
+// from a reverse axis) is built lazily on first use, so engines created
+// for a single cheap lookup — or for an epoch that is published but never
+// queried — never pay an O(n) walk.
 func NewEngine(doc *xmltree.Node, nav Navigator) *Engine {
-	e := &Engine{doc: doc, nav: nav, rank: make(map[*xmltree.Node]int)}
-	i := 0
-	doc.WalkFull(func(n *xmltree.Node) bool {
-		e.rank[n] = i
-		i++
-		return true
+	return &Engine{doc: doc, nav: nav}
+}
+
+// ensureRank builds the document-order rank map on first use. The build is
+// guarded by a sync.Once because one engine (one published epoch's
+// planner) serves concurrent readers.
+func (e *Engine) ensureRank() {
+	e.rankOnce.Do(func() {
+		rank := make(map[*xmltree.Node]int)
+		i := 0
+		e.doc.WalkFull(func(n *xmltree.Node) bool {
+			rank[n] = i
+			i++
+			return true
+		})
+		e.rank = rank
 	})
-	return e
 }
 
 // Navigator returns the engine's navigator.
@@ -105,8 +120,24 @@ func (e *Engine) evalStep(ctx []*xmltree.Node, step Step) []*xmltree.Node {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return e.rank[out[i]] < e.rank[out[j]] })
+	// A single context node expanded along a forward axis is already in
+	// document order; only merged or reverse-axis results need the sort
+	// (and with it the lazily built rank map).
+	if len(ctx) > 1 || reverseAxis(step.Axis) {
+		e.ensureRank()
+		sort.Slice(out, func(i, j int) bool { return e.rank[out[i]] < e.rank[out[j]] })
+	}
 	return out
+}
+
+// reverseAxis reports whether axis emits nodes in reverse document order
+// (nearest first), so its results need re-sorting even for one context.
+func reverseAxis(a Axis) bool {
+	switch a {
+	case AxisAncestor, AxisAncestorOrSelf, AxisPreceding, AxisPrecedingSibling:
+		return true
+	}
+	return false
 }
 
 // axisNodes generates the axis node list for one context node, in axis
@@ -436,6 +467,7 @@ func (e *Engine) SelectUnion(ctx *xmltree.Node, paths []Path) []*xmltree.Node {
 			}
 		}
 	}
+	e.ensureRank()
 	sort.Slice(out, func(i, j int) bool { return e.rank[out[i]] < e.rank[out[j]] })
 	return out
 }
