@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/document"
+	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/prepost"
 	"repro/internal/scheme"
@@ -683,4 +684,74 @@ func BenchmarkE14Twig(b *testing.B) {
 			benchSink += len(engine.Select(nil, path))
 		}
 	})
+}
+
+// BenchmarkParallelJoins measures the frame-parallel execution layer
+// against the serial fast path on a ~65k-node document: each join family
+// serially, through the executor at P=1 (Serial mode — scheduling overhead
+// only), and at forced 2 and 8 workers. Observable speedup is bounded by
+// GOMAXPROCS on the benchmark host.
+func BenchmarkParallelJoins(b *testing.B) {
+	doc := xmltree.Recursive(2, 13)
+	rn := workload.BuildRUID(doc)
+	ix := index.Build(doc.DocumentElement(), rn)
+	ancs, descs := ix.RuidIDs("section"), ix.RuidIDs("title")
+	pattern, err := twig.Compile("//section[title]//title")
+	if err != nil {
+		b.Fatal(err)
+	}
+	execs := []struct {
+		tag string
+		e   *exec.Executor
+	}{
+		{"p=1", exec.New(exec.Config{Mode: exec.Serial})},
+		{"p=2", exec.New(exec.Config{Mode: exec.Forced, Workers: 2})},
+		{"p=8", exec.New(exec.Config{Mode: exec.Forced, Workers: 8})},
+	}
+	b.Run("merge_join/serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += len(index.MergeJoinRUID(rn, ancs, descs))
+		}
+	})
+	b.Run("upward_join/serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += len(index.UpwardJoinRUID(rn, ancs, descs))
+		}
+	})
+	for _, ex := range execs {
+		e := ex.e
+		b.Run("merge_join/"+ex.tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink += len(e.MergeJoin(rn, ancs, descs))
+			}
+		})
+		b.Run("upward_join/"+ex.tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink += len(e.UpwardJoin(rn, ancs, descs))
+			}
+		})
+		b.Run("upward_semi_join/"+ex.tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink += len(e.UpwardSemiJoin(rn, ancs, descs))
+			}
+		})
+		b.Run("path_query/"+ex.tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink += len(e.PathQuery(ix, "section", "section", "title"))
+			}
+		})
+		b.Run("twig/"+ex.tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ids, _ := twig.MatchIDsWith(pattern, ix, e)
+				benchSink += len(ids)
+			}
+		})
+	}
 }

@@ -5,6 +5,12 @@
 // epoch_publish or the structural joins past the threshold fails the
 // build instead of silently shifting the baseline.
 //
+// A benchmark present in only one file is never skipped: one missing from
+// the current run is REMOVED (renamed or dropped from the harness) and one
+// missing from the baseline is ADDED (the baseline needs regenerating) —
+// both fail the gate, so the committed baseline always covers exactly the
+// harness's benchmark set.
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_baseline.json -current out.json [-max-regress 0.25]
@@ -14,7 +20,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 )
 
 // result mirrors the microResult rows ruidbench -json emits.
@@ -42,6 +50,58 @@ func load(path string) (map[string]result, error) {
 	return byName, nil
 }
 
+// requiredBenches must exist in every current run: the publication benches
+// are the point of the gate; refuse to pass a run in which they went
+// missing (renamed, dropped from the harness).
+var requiredBenches = []string{"epoch_publish/nodes=5000", "epoch_publish/nodes=50000"}
+
+// diff writes the per-benchmark comparison to w (names sorted) and reports
+// whether the gate fails: a regression beyond maxRegress, a required or
+// baseline benchmark missing from current (REMOVED), or a current
+// benchmark absent from the baseline (ADDED — the baseline file is stale).
+func diff(w io.Writer, baseline, current map[string]result, maxRegress float64) bool {
+	failed := false
+	for _, required := range requiredBenches {
+		if _, ok := current[required]; !ok {
+			fmt.Fprintf(w, "REQUIRED %-32s missing from current run\n", required)
+			failed = true
+		}
+	}
+	names := make([]string, 0, len(baseline)+len(current))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, inBase := baseline[name]
+		cur, inCur := current[name]
+		switch {
+		case !inCur:
+			fmt.Fprintf(w, "REMOVED %-32s (in baseline, not in current run)\n", name)
+			failed = true
+		case !inBase:
+			fmt.Fprintf(w, "ADDED   %-32s %12.1f ns/op  (not in baseline; regenerate BENCH_baseline.json)\n",
+				name, cur.NsPerOp)
+			failed = true
+		default:
+			ratio := cur.NsPerOp / base.NsPerOp
+			status := "ok     "
+			if cur.NsPerOp > base.NsPerOp*(1+maxRegress) {
+				status = "REGRESS"
+				failed = true
+			}
+			fmt.Fprintf(w, "%s %-32s %12.1f ns/op -> %12.1f ns/op  (%+.1f%%)\n",
+				status, name, base.NsPerOp, cur.NsPerOp, (ratio-1)*100)
+		}
+	}
+	return failed
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
 	currentPath := flag.String("current", "", "fresh ruidbench -json output to check")
@@ -63,35 +123,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	// The publication benches are the point of the gate: refuse to pass a
-	// run in which they went missing (renamed, dropped from the harness).
-	for _, required := range []string{"epoch_publish/nodes=5000", "epoch_publish/nodes=50000"} {
-		if _, ok := current[required]; !ok {
-			fmt.Fprintf(os.Stderr, "benchdiff: current run misses required benchmark %q\n", required)
-			os.Exit(1)
-		}
-	}
-
-	failed := false
-	for name, base := range baseline {
-		cur, ok := current[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "MISSING %-32s (in baseline, not in current run)\n", name)
-			failed = true
-			continue
-		}
-		limit := base.NsPerOp * (1 + *maxRegress)
-		ratio := cur.NsPerOp / base.NsPerOp
-		status := "ok     "
-		if cur.NsPerOp > limit {
-			status = "REGRESS"
-			failed = true
-		}
-		fmt.Printf("%s %-32s %12.1f ns/op -> %12.1f ns/op  (%+.1f%%)\n",
-			status, name, base.NsPerOp, cur.NsPerOp, (ratio-1)*100)
-	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% (or missing benchmark)\n", *maxRegress*100)
+	if diff(os.Stdout, baseline, current, *maxRegress) {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%%, or added/removed benchmark\n", *maxRegress*100)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rows(pairs map[string]float64) map[string]result {
+	out := make(map[string]result, len(pairs))
+	for name, ns := range pairs {
+		out[name] = result{Name: name, Iterations: 100, NsPerOp: ns}
+	}
+	return out
+}
+
+// both required publication benches, at identical timings.
+func withRequired(pairs map[string]float64) map[string]float64 {
+	for _, r := range requiredBenches {
+		if _, ok := pairs[r]; !ok {
+			pairs[r] = 1000
+		}
+	}
+	return pairs
+}
+
+func TestDiffPasses(t *testing.T) {
+	base := rows(withRequired(map[string]float64{"join/a": 100}))
+	cur := rows(withRequired(map[string]float64{"join/a": 110}))
+	var sb strings.Builder
+	if diff(&sb, base, cur, 0.25) {
+		t.Fatalf("within-threshold run failed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "ok") {
+		t.Fatalf("report lacks ok line:\n%s", sb.String())
+	}
+}
+
+func TestDiffRegression(t *testing.T) {
+	base := rows(withRequired(map[string]float64{"join/a": 100}))
+	cur := rows(withRequired(map[string]float64{"join/a": 200}))
+	var sb strings.Builder
+	if !diff(&sb, base, cur, 0.25) {
+		t.Fatal("2x regression passed")
+	}
+	if !strings.Contains(sb.String(), "REGRESS join/a") {
+		t.Fatalf("report lacks REGRESS line:\n%s", sb.String())
+	}
+}
+
+// TestDiffAddedBenchmark: a benchmark only in the current run must be
+// reported as ADDED and fail the gate (stale baseline), not be skipped.
+func TestDiffAddedBenchmark(t *testing.T) {
+	base := rows(withRequired(map[string]float64{}))
+	cur := rows(withRequired(map[string]float64{"parallel/new": 50}))
+	var sb strings.Builder
+	if !diff(&sb, base, cur, 0.25) {
+		t.Fatal("added benchmark passed the gate")
+	}
+	if !strings.Contains(sb.String(), "ADDED   parallel/new") {
+		t.Fatalf("report lacks ADDED line:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "regenerate BENCH_baseline.json") {
+		t.Fatalf("ADDED line lacks remediation hint:\n%s", sb.String())
+	}
+}
+
+// TestDiffRemovedBenchmark: a benchmark only in the baseline must be
+// reported as REMOVED and fail the gate.
+func TestDiffRemovedBenchmark(t *testing.T) {
+	base := rows(withRequired(map[string]float64{"join/gone": 100}))
+	cur := rows(withRequired(map[string]float64{}))
+	var sb strings.Builder
+	if !diff(&sb, base, cur, 0.25) {
+		t.Fatal("removed benchmark passed the gate")
+	}
+	if !strings.Contains(sb.String(), "REMOVED join/gone") {
+		t.Fatalf("report lacks REMOVED line:\n%s", sb.String())
+	}
+}
+
+// TestDiffRequiredMissing: losing a required publication bench fails even
+// if the baseline lost it too.
+func TestDiffRequiredMissing(t *testing.T) {
+	base := rows(map[string]float64{"join/a": 100})
+	cur := rows(map[string]float64{"join/a": 100})
+	var sb strings.Builder
+	if !diff(&sb, base, cur, 0.25) {
+		t.Fatal("run without required benches passed")
+	}
+	if !strings.Contains(sb.String(), "REQUIRED") {
+		t.Fatalf("report lacks REQUIRED line:\n%s", sb.String())
+	}
+}

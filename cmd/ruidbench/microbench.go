@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/document"
+	"repro/internal/exec"
 	"repro/internal/index"
+	"repro/internal/twig"
 	"repro/internal/workload"
 	"repro/internal/xmltree"
 )
@@ -78,6 +80,99 @@ func epochPublishBench(size int) func(b *testing.B) {
 		}
 		microSink += d.Stats().Nodes
 	}
+}
+
+// parallelBenches measures the frame-parallel execution layer against the
+// serial fast path on a ~65k-node recursive document (16383 sections and
+// titles): each join family at p=1 (the executor's serial path, measuring
+// scheduling overhead) and at forced 2 and 8 workers. Speedup is bounded by
+// the machine's core count; the committed baseline records whatever this
+// host measured.
+func parallelBenches() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	doc := xmltree.Recursive(2, 13)
+	rn := workload.BuildRUID(doc)
+	ix := index.Build(doc.DocumentElement(), rn)
+	ancs, descs := ix.RuidIDs("section"), ix.RuidIDs("title")
+	pattern, err := twig.Compile("//section[title]//title")
+	if err != nil {
+		panic(err)
+	}
+
+	execs := []struct {
+		tag string
+		e   *exec.Executor
+	}{
+		{"p=1", exec.New(exec.Config{Mode: exec.Serial})},
+		{"p=2", exec.New(exec.Config{Mode: exec.Forced, Workers: 2})},
+		{"p=8", exec.New(exec.Config{Mode: exec.Forced, Workers: 8})},
+	}
+
+	var out []struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		out = append(out, struct {
+			name string
+			fn   func(b *testing.B)
+		}{name, fn})
+	}
+
+	add("parallel/merge_join/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(index.MergeJoinRUID(rn, ancs, descs))
+		}
+	})
+	add("parallel/upward_join/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(index.UpwardJoinRUID(rn, ancs, descs))
+		}
+	})
+	add("parallel/upward_semi_join/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(index.UpwardSemiJoinRUID(rn, ancs, descs))
+		}
+	})
+	add("parallel/path_query/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(ix.PathQueryRUID("section", "section", "title"))
+		}
+	})
+	// twig has no executor-free serial kernel; its p=1 row (Serial-mode
+	// executor) is the serial reference.
+	for _, ex := range execs {
+		e := ex.e
+		add("parallel/merge_join/"+ex.tag, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(e.MergeJoin(rn, ancs, descs))
+			}
+		})
+		add("parallel/upward_join/"+ex.tag, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(e.UpwardJoin(rn, ancs, descs))
+			}
+		})
+		add("parallel/upward_semi_join/"+ex.tag, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(e.UpwardSemiJoin(rn, ancs, descs))
+			}
+		})
+		add("parallel/path_query/"+ex.tag, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				microSink += len(e.PathQuery(ix, "section", "section", "title"))
+			}
+		})
+		add("parallel/twig/"+ex.tag, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ids, _ := twig.MatchIDsWith(pattern, ix, e)
+				microSink += len(ids)
+			}
+		})
+	}
+	return out
 }
 
 // microResult is one row of the -json output. The fields mirror what
@@ -205,6 +300,7 @@ func runMicrobench(out io.Writer) error {
 		{"epoch_publish/nodes=5000", epochPublishBench(5000)},
 		{"epoch_publish/nodes=50000", epochPublishBench(50000)},
 	}
+	benches = append(benches, parallelBenches()...)
 
 	results := make([]microResult, 0, len(benches))
 	for _, bench := range benches {

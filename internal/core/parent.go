@@ -177,3 +177,55 @@ func (n *Numbering) appendAncestorChain(dst []ID, id ID) []ID {
 		cur = p
 	}
 }
+
+// AppendAncestorChainID appends id followed by its ancestor chain up to the
+// document root to dst and returns the extended slice. It is the exported
+// form of the chain walk the order comparison uses internally: join kernels
+// that amortize one climb per identifier (instead of one per comparison)
+// build chains with it and compare them with CompareChains.
+func (n *Numbering) AppendAncestorChainID(dst []ID, id ID) []ID {
+	return n.appendAncestorChain(dst, id)
+}
+
+// CompareChains compares two identifiers in document order given their
+// precomputed ancestor chains (id first, root last — the
+// AppendAncestorChainID layout). It decides ancestor/descendant and sibling
+// order from the chains alone, with no further parent computation: the
+// chains are aligned at the root end, and the children of the lowest common
+// ancestor — siblings enumerated in one area, so their Local indices compare
+// numerically (Lemma 2) — settle the order.
+func CompareChains(a, b []ID) int {
+	la, lb := len(a), len(b)
+	if la > 0 && lb > 0 && a[0] == b[0] {
+		return 0
+	}
+	k := 0
+	for k < la && k < lb && a[la-1-k] == b[lb-1-k] {
+		k++
+	}
+	switch {
+	case k == la: // a's whole chain is a prefix of b's: a is an ancestor of b
+		return -1
+	case k == lb:
+		return 1
+	default:
+		// a[la-1-k] and b[lb-1-k] are the distinct children of the LCA.
+		if a[la-1-k].Local < b[lb-1-k].Local {
+			return -1
+		}
+		return 1
+	}
+}
+
+// ChainContainsProper reports whether id is a proper ancestor of the node
+// whose chain is given (id first, root last): membership in chain[1:].
+// Chains are short (document depth), so a linear scan beats recomputing the
+// climb that produced the chain.
+func ChainContainsProper(chain []ID, id ID) bool {
+	for _, c := range chain[1:] {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}

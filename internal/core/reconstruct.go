@@ -31,19 +31,28 @@ func (n *Numbering) ReconstructWithText(ids []ID) *xmltree.Node {
 }
 
 func (n *Numbering) reconstruct(ids []ID, withText bool) *xmltree.Node {
-	// Dedupe, drop unknowns, sort in document order — all by identifier
-	// arithmetic.
+	// Dedupe, drop unknowns, and ensure document order — all by identifier
+	// arithmetic. Query results arrive already sorted (posting sortedness is
+	// a maintained index invariant and every join preserves input order), so
+	// the common case detects order during the dedupe pass and never sorts;
+	// only an arbitrary caller-assembled set pays the O(k log k) fallback.
 	uniq := make([]ID, 0, len(ids))
 	seen := make(map[ID]bool, len(ids))
+	ordered := true
 	for _, id := range ids {
 		if !seen[id] {
 			if _, ok := n.NodeOfID(id); ok {
 				seen[id] = true
+				if ordered && len(uniq) > 0 && n.CompareOrderID(uniq[len(uniq)-1], id) >= 0 {
+					ordered = false
+				}
 				uniq = append(uniq, id)
 			}
 		}
 	}
-	sort.Slice(uniq, func(i, j int) bool { return n.CompareOrder(uniq[i], uniq[j]) < 0 })
+	if !ordered {
+		sort.Slice(uniq, func(i, j int) bool { return n.CompareOrder(uniq[i], uniq[j]) < 0 })
+	}
 
 	out := xmltree.NewDocument()
 	type pair struct {

@@ -65,6 +65,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataguide"
+	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/scheme"
@@ -84,6 +85,13 @@ type Options struct {
 	// WithAttrs numbers attribute nodes too (§4: "all components of XML
 	// document trees").
 	WithAttrs bool
+	// Parallel selects when the identifier pipelines (join chains, twig
+	// matches) run frame-parallel. The zero value, exec.Auto, parallelizes
+	// queries whose posting volume clears exec.DefaultMinWork and runs
+	// smaller ones serially; exec.Serial pins everything to one goroutine.
+	Parallel exec.Mode
+	// ExecWorkers caps the query worker pool; 0 means GOMAXPROCS.
+	ExecWorkers int
 }
 
 func (o Options) coreOptions() core.Options {
@@ -101,6 +109,7 @@ func (o Options) coreOptions() core.Options {
 // FromTree; the zero value is not usable.
 type Document struct {
 	opts core.Options
+	exec *exec.Executor // schedules every epoch's identifier pipelines
 
 	mu     sync.Mutex    // serializes writers and epoch publication
 	master *xmltree.Node // writer-private tree; never exposed to readers
@@ -161,7 +170,12 @@ func FromTree(doc *xmltree.Node, opts Options) (*Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Document{opts: copts, master: doc, num: num}
+	d := &Document{
+		opts:   copts,
+		exec:   exec.New(exec.Config{Mode: opts.Parallel, Workers: opts.ExecWorkers}),
+		master: doc,
+		num:    num,
+	}
 	num.Root().Walk(func(x *xmltree.Node) bool {
 		d.nodeCount++
 		d.depthSum += x.Depth()
@@ -204,11 +218,13 @@ func (d *Document) publishFullLocked() error {
 	}
 	d.m2e = mapping
 	d.epoch++
+	planner := query.New(tree, num)
+	planner.SetExecutor(d.exec)
 	d.cur.Store(&Snapshot{
 		epoch:   d.epoch,
 		tree:    tree,
 		num:     num,
-		planner: query.New(tree, num),
+		planner: planner,
 	})
 	return nil
 }
@@ -240,10 +256,12 @@ func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta) (*Snap
 			return true
 		})
 	}
+	planner := query.NewWithState(tree, num, ix, guide, d.nodeCount, d.depthSum)
+	planner.SetExecutor(d.exec)
 	return &Snapshot{
 		tree:    tree,
 		num:     num,
-		planner: query.NewWithState(tree, num, ix, guide, d.nodeCount, d.depthSum),
+		planner: planner,
 	}, nil
 }
 

@@ -1,0 +1,73 @@
+package document_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/document"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// TestPostingsStaySortedUnderUpdates is the property test behind the
+// sortedness invariant the parallel execution layer depends on: after any
+// history of inserts and deletes — each flowing through index.ApplyDelta on
+// the incremental publication path — every posting list of every published
+// epoch is still strictly ascending in document order. Debug assertions are
+// armed too, so a violation fails at the operation that introduced it, not
+// at the final sweep.
+func TestPostingsStaySortedUnderUpdates(t *testing.T) {
+	prev := index.SetDebugChecks(true)
+	defer index.SetDebugChecks(prev)
+
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for s := 0; s < 4; s++ {
+		sb.WriteString("<shelf>")
+		for b := 0; b < 6; b++ {
+			fmt.Fprintf(&sb, "<book><title>t%d.%d</title></book>", s, b)
+		}
+		sb.WriteString("</shelf>")
+	}
+	sb.WriteString("</lib>")
+
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			d, err := document.OpenString(sb.String(), document.Options{
+				Partition: core.PartitionConfig{MaxAreaNodes: 12, AdjustFanout: true},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rand.New(rand.NewSource(seed))
+			next := 1000
+			for step := 0; step < 120; step++ {
+				shelf := fmt.Sprintf("/lib/shelf[%d]", r.Intn(4)+1)
+				if r.Intn(3) == 0 {
+					// Deletes may fail on an emptied shelf; that must not
+					// publish anything, so it is fine to ignore here.
+					_, _ = d.Delete(shelf, 0)
+				} else {
+					book := xmltree.NewElement("book")
+					title := xmltree.NewElement("title")
+					title.AppendChild(xmltree.NewText(fmt.Sprintf("n%d", next)))
+					book.AppendChild(title)
+					next++
+					// Vary the splice position; fall back to the head when the
+					// random slot exceeds the shelf's current width.
+					if _, err := d.Insert(shelf, r.Intn(3), book); err != nil {
+						if _, err := d.Insert(shelf, 0, book); err != nil {
+							t.Fatalf("step %d: insert: %v", step, err)
+						}
+					}
+				}
+				if err := d.Snapshot().Index().CheckSorted(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package exec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+func buildFixture(t *testing.T, depth int) (*core.Numbering, *index.NameIndex) {
+	t.Helper()
+	doc := xmltree.Recursive(2, depth)
+	n, err := core.Build(doc, core.Options{
+		Partition: core.PartitionConfig{MaxAreaNodes: 16, AdjustFanout: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, index.Build(doc.DocumentElement(), n)
+}
+
+func equalIDs(t *testing.T, op string, got, want []core.ID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: parallel %d ids, serial %d", op, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id %d: parallel %v serial %v", op, i, got[i], want[i])
+		}
+	}
+}
+
+func equalPairs(t *testing.T, op string, got, want []index.PairID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: parallel %d pairs, serial %d", op, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d: parallel %v serial %v", op, i, got[i], want[i])
+		}
+	}
+}
+
+// subsample keeps a pseudo-random subsequence of ids, preserving document
+// order — join inputs in real plans are arbitrary sorted subsets of
+// postings, not always whole lists.
+func subsample(r *rand.Rand, ids []core.ID, keep float64) []core.ID {
+	out := make([]core.ID, 0, len(ids))
+	for _, id := range ids {
+		if r.Float64() < keep {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestParallelAgreesWithSerial runs every executor operation in Forced mode
+// at several worker counts over randomized document-order subsets of real
+// postings and requires byte-identical output versus the serial fast path.
+func TestParallelAgreesWithSerial(t *testing.T) {
+	n, ix := buildFixture(t, 9)
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		ancs := subsample(r, ix.RuidIDs("section"), 0.7)
+		descs := subsample(r, ix.RuidIDs("title"), 0.7)
+		if trial == 0 {
+			ancs, descs = ix.RuidIDs("section"), ix.RuidIDs("title")
+		}
+		for _, workers := range []int{1, 2, 3, 8} {
+			e := exec.New(exec.Config{Mode: exec.Forced, Workers: workers})
+			equalPairs(t, "UpwardJoin", e.UpwardJoin(n, ancs, descs), index.UpwardJoinRUID(n, ancs, descs))
+			equalPairs(t, "MergeJoin", e.MergeJoin(n, ancs, descs), index.MergeJoinRUID(n, ancs, descs))
+			equalIDs(t, "UpwardSemiJoin", e.UpwardSemiJoin(n, ancs, descs), index.UpwardSemiJoinRUID(n, ancs, descs))
+			equalIDs(t, "ParentSemiJoin", e.ParentSemiJoin(n, ancs, descs), index.ParentSemiJoinRUID(n, ancs, descs))
+			equalIDs(t, "AncestorSemiJoin", e.AncestorSemiJoin(n, ancs, descs), index.AncestorSemiJoinRUID(n, ancs, descs))
+			equalIDs(t, "ChildSemiJoin", e.ChildSemiJoin(n, ancs, descs), index.ChildSemiJoinRUID(n, ancs, descs))
+		}
+	}
+}
+
+// TestParallelNestedJoin pins the merge-join shard seeding on a deeply
+// nested ancestor list: sections nested under sections, where shard
+// boundaries land mid-subtree and the start stack must carry several open
+// ancestors across.
+func TestParallelNestedJoin(t *testing.T) {
+	n, ix := buildFixture(t, 9)
+	secs := ix.RuidIDs("section")
+	for _, workers := range []int{2, 5, 16} {
+		e := exec.New(exec.Config{Mode: exec.Forced, Workers: workers})
+		equalPairs(t, "MergeJoin(section,section)",
+			e.MergeJoin(n, secs, secs), index.MergeJoinRUID(n, secs, secs))
+		equalPairs(t, "UpwardJoin(section,section)",
+			e.UpwardJoin(n, secs, secs), index.UpwardJoinRUID(n, secs, secs))
+	}
+}
+
+// TestPathQueryParallel compares the executor's path query against the
+// index one across modes.
+func TestPathQueryParallel(t *testing.T) {
+	_, ix := buildFixture(t, 9)
+	want := ix.PathQueryRUID("section", "title")
+	if len(want) == 0 {
+		t.Fatal("fixture returned no path results")
+	}
+	for _, cfg := range []exec.Config{
+		{Mode: exec.Serial},
+		{Mode: exec.Auto, Workers: 4, MinWork: 1},
+		{Mode: exec.Forced, Workers: 8},
+	} {
+		equalIDs(t, "PathQuery/"+cfg.Mode.String(), exec.New(cfg).PathQuery(ix, "section", "title"), want)
+	}
+}
+
+// TestEmptyAndTinyInputs drives the degenerate shapes through every mode:
+// empty sides, single elements, fewer items than workers.
+func TestEmptyAndTinyInputs(t *testing.T) {
+	n, ix := buildFixture(t, 5)
+	titles := ix.RuidIDs("title")
+	for _, cfg := range []exec.Config{
+		{Mode: exec.Serial},
+		{Mode: exec.Forced, Workers: 8},
+	} {
+		e := exec.New(cfg)
+		if got := e.UpwardJoin(n, nil, titles); len(got) != 0 {
+			t.Fatalf("empty ancs: got %d pairs", len(got))
+		}
+		if got := e.MergeJoin(n, titles, nil); len(got) != 0 {
+			t.Fatalf("empty descs: got %d pairs", len(got))
+		}
+		one := titles[:1]
+		equalPairs(t, "single", e.MergeJoin(n, one, one), index.MergeJoinRUID(n, one, one))
+		small := titles[:min(3, len(titles))]
+		equalIDs(t, "tiny", e.UpwardSemiJoin(n, small, small), index.UpwardSemiJoinRUID(n, small, small))
+	}
+}
+
+// TestDefaultExecutor sanity-checks the process-wide executor.
+func TestDefaultExecutor(t *testing.T) {
+	e := exec.Default()
+	if e == nil || e.Workers() < 1 {
+		t.Fatalf("default executor %+v", e)
+	}
+	n, ix := buildFixture(t, 7)
+	ancs, descs := ix.RuidIDs("section"), ix.RuidIDs("title")
+	equalPairs(t, "default", e.UpwardJoin(n, ancs, descs), index.UpwardJoinRUID(n, ancs, descs))
+}

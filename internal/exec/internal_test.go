@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShardRanges pins the geometry: ranges are contiguous, cover the whole
+// slice, and cut at area (Global) boundaries whenever one lies within the
+// slack window.
+func TestShardRanges(t *testing.T) {
+	// 10 areas of 7 identifiers each.
+	var ids []core.ID
+	for g := int64(0); g < 10; g++ {
+		for l := int64(1); l <= 7; l++ {
+			ids = append(ids, core.ID{Global: g, Local: l})
+		}
+	}
+	for _, want := range []int{1, 2, 3, 7, 100} {
+		ranges := shardRanges(ids, want)
+		if ranges[0][0] != 0 || ranges[len(ranges)-1][1] != len(ids) {
+			t.Fatalf("want=%d: ranges %v do not span [0,%d)", want, ranges, len(ids))
+		}
+		for i := 1; i < len(ranges); i++ {
+			if ranges[i][0] != ranges[i-1][1] {
+				t.Fatalf("want=%d: gap between %v and %v", want, ranges[i-1], ranges[i])
+			}
+			cut := ranges[i][0]
+			if ids[cut].Global == ids[cut-1].Global {
+				t.Errorf("want=%d: cut %d splits area %d", want, cut, ids[cut].Global)
+			}
+		}
+		if len(ranges) > want {
+			t.Fatalf("want=%d: got %d ranges", want, len(ranges))
+		}
+	}
+	if got := shardRanges(nil, 4); len(got) != 1 || got[0] != [2]int{0, 0} {
+		t.Fatalf("empty input: %v", got)
+	}
+}
+
+// TestRunPanicPropagates requires a worker panic to resurface on the
+// calling goroutine instead of crashing the process.
+func TestRunPanicPropagates(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "shard boom") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	e.run(8, func(i int) {
+		if i == 5 {
+			panic("shard boom")
+		}
+	})
+}
+
+// TestWorkersFor pins the mode policy table.
+func TestWorkersFor(t *testing.T) {
+	auto := New(Config{Workers: 4, MinWork: 100})
+	if got := auto.workersFor(99); got != 1 {
+		t.Fatalf("auto below threshold: %d workers", got)
+	}
+	if got := auto.workersFor(100); got != 4 {
+		t.Fatalf("auto above threshold: %d workers", got)
+	}
+	if got := New(Config{Mode: Serial, Workers: 4}).workersFor(1 << 20); got != 1 {
+		t.Fatalf("serial mode: %d workers", got)
+	}
+	if got := New(Config{Mode: Forced, Workers: 1}).workersFor(2); got < 2 {
+		t.Fatalf("forced mode on one worker: %d", got)
+	}
+}

@@ -1,0 +1,229 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/index"
+)
+
+// The parallel forms of the structural joins. Each one shards the
+// descendant posting list by frame area (shardRanges), runs the matching
+// index kernel per shard against one shared read-only probe set, and
+// concatenates shard outputs in shard order — which is document order,
+// because the inputs are document-ordered and every kernel preserves input
+// order. Below the crossover (or in Serial mode) each delegates to the
+// one-shot index fast path unchanged, so P=1 costs one extra call frame.
+
+// UpwardJoin is index.UpwardJoinRUID sharded over descs: every pair (a, d)
+// with a ∈ ancs a proper ancestor of d ∈ descs, in document order of the
+// descendant.
+func (e *Executor) UpwardJoin(n *core.Numbering, ancs, descs []core.ID) []index.PairID {
+	p := e.workersFor(len(ancs) + len(descs))
+	if p <= 1 {
+		return index.UpwardJoinRUID(n, ancs, descs)
+	}
+	ranges := shardRanges(descs, p)
+	if len(ranges) <= 1 {
+		return index.UpwardJoinRUID(n, ancs, descs)
+	}
+	set := index.MakeIDSet(ancs)
+	return gatherPairs(e, ranges, func(r [2]int, buf []index.PairID) []index.PairID {
+		return index.AppendUpwardJoinRUID(n, set, descs[r[0]:r[1]], buf)
+	})
+}
+
+// MergeJoin is index.MergeJoinRUID sharded over descs. Each shard seeds the
+// open-ancestor stack with the ancs members lying on its first descendant's
+// ancestor chain (outermost first) — exactly the serial algorithm's stack
+// state at that descendant — and starts candidate admission at the first
+// ancestor not ordered before that descendant, found by binary search. No
+// state crosses shard boundaries, so the concatenated output is identical
+// to the serial one.
+func (e *Executor) MergeJoin(n *core.Numbering, ancs, descs []core.ID) []index.PairID {
+	p := e.workersFor(len(ancs) + len(descs))
+	if p <= 1 {
+		return index.MergeJoinRUID(n, ancs, descs)
+	}
+	ranges := shardRanges(descs, p)
+	if len(ranges) <= 1 {
+		return index.MergeJoinRUID(n, ancs, descs)
+	}
+	ancSet := index.MakeIDSet(ancs)
+	return gatherPairs(e, ranges, func(r [2]int, buf []index.PairID) []index.PairID {
+		d0 := descs[r[0]]
+		start := sort.Search(len(ancs), func(j int) bool {
+			return n.CompareOrderID(ancs[j], d0) >= 0
+		})
+		sc := mergeScratchPool.Get().(*index.MergeScratch)
+		chainBuf, seedBuf := getIDBuf(), getIDBuf()
+		chain := n.AppendAncestorChainID(*chainBuf, d0)
+		// The chain runs nearest-first and ends at the root; the seed wants
+		// the subset present in ancs, outermost first. chain[0] is d0 itself.
+		seed := *seedBuf
+		for j := len(chain) - 1; j >= 1; j-- {
+			if _, in := ancSet[chain[j]]; in {
+				seed = append(seed, chain[j])
+			}
+		}
+		buf = index.AppendMergeJoinRUID(n, ancs[start:], descs[r[0]:r[1]], seed, sc, buf)
+		*chainBuf, *seedBuf = chain, seed
+		putIDBuf(chainBuf)
+		putIDBuf(seedBuf)
+		mergeScratchPool.Put(sc)
+		return buf
+	})
+}
+
+// UpwardSemiJoin is index.UpwardSemiJoinRUID sharded over descs: the
+// members of descs having at least one proper ancestor in ancs, in input
+// order.
+func (e *Executor) UpwardSemiJoin(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	p := e.workersFor(len(ancs) + len(descs))
+	if p <= 1 {
+		return index.UpwardSemiJoinRUID(n, ancs, descs)
+	}
+	ranges := shardRanges(descs, p)
+	if len(ranges) <= 1 {
+		return index.UpwardSemiJoinRUID(n, ancs, descs)
+	}
+	set := index.MakeIDSet(ancs)
+	return gatherIDs(e, ranges, func(r [2]int, buf []core.ID) []core.ID {
+		return index.AppendUpwardSemiJoinRUID(n, set, descs[r[0]:r[1]], buf)
+	})
+}
+
+// ParentSemiJoin is index.ParentSemiJoinRUID sharded over descs: the
+// members of descs whose direct parent is in ancs, in input order.
+func (e *Executor) ParentSemiJoin(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	p := e.workersFor(len(ancs) + len(descs))
+	if p <= 1 {
+		return index.ParentSemiJoinRUID(n, ancs, descs)
+	}
+	ranges := shardRanges(descs, p)
+	if len(ranges) <= 1 {
+		return index.ParentSemiJoinRUID(n, ancs, descs)
+	}
+	set := index.MakeIDSet(ancs)
+	return gatherIDs(e, ranges, func(r [2]int, buf []core.ID) []core.ID {
+		return index.AppendParentSemiJoinRUID(n, set, descs[r[0]:r[1]], buf)
+	})
+}
+
+// AncestorSemiJoin is index.AncestorSemiJoinRUID with the probing half
+// sharded over descs: the members of ancs having at least one proper
+// descendant in descs, in ancs order. Shards accumulate private hit sets;
+// the union is filtered through ancs serially, which restores order without
+// a sort.
+func (e *Executor) AncestorSemiJoin(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	return e.hitSemiJoin(ancs, descs, func(set index.IDSet, run []core.ID, hit index.IDSet) {
+		index.CollectAncestorHitsRUID(n, set, run, hit)
+	}, func(set index.IDSet) []core.ID {
+		return index.AncestorSemiJoinRUID(n, ancs, descs)
+	})
+}
+
+// ChildSemiJoin is index.ChildSemiJoinRUID with the probing half sharded
+// over descs: the members of ancs having at least one direct child in
+// descs, in ancs order.
+func (e *Executor) ChildSemiJoin(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	return e.hitSemiJoin(ancs, descs, func(set index.IDSet, run []core.ID, hit index.IDSet) {
+		index.CollectChildHitsRUID(n, set, run, hit)
+	}, func(index.IDSet) []core.ID {
+		return index.ChildSemiJoinRUID(n, ancs, descs)
+	})
+}
+
+func (e *Executor) hitSemiJoin(
+	ancs, descs []core.ID,
+	collect func(set index.IDSet, run []core.ID, hit index.IDSet),
+	serial func(index.IDSet) []core.ID,
+) []core.ID {
+	p := e.workersFor(len(ancs) + len(descs))
+	if p <= 1 {
+		return serial(nil)
+	}
+	ranges := shardRanges(descs, p)
+	if len(ranges) <= 1 {
+		return serial(nil)
+	}
+	set := index.MakeIDSet(ancs)
+	hits := make([]index.IDSet, len(ranges))
+	e.run(len(ranges), func(s int) {
+		hit := getHitSet()
+		collect(set, descs[ranges[s][0]:ranges[s][1]], hit)
+		hits[s] = hit
+	})
+	union := hits[0]
+	for _, h := range hits[1:] {
+		for id := range h {
+			union[id] = struct{}{}
+		}
+	}
+	out := index.AppendHitMembersRUID(ancs, union, make([]core.ID, 0, len(union)))
+	for _, h := range hits {
+		putHitSet(h)
+	}
+	return out
+}
+
+// PathQuery is NameIndex.PathQueryRUID with every step's semi-join run
+// through the executor: postings of names[0] filtered down the path by
+// parallel upward semi-joins. Returns nil for non-ruid indexes, like the
+// serial form.
+func (e *Executor) PathQuery(ix *index.NameIndex, names ...string) []core.ID {
+	n := ix.RUID()
+	if n == nil || len(names) == 0 {
+		return nil
+	}
+	cur := ix.RuidIDs(names[0])
+	for step := 1; step < len(names); step++ {
+		cur = e.UpwardSemiJoin(n, cur, ix.RuidIDs(names[step]))
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// gatherPairs runs kernel over every range concurrently into pooled
+// buffers, then concatenates the shard outputs in range order into one
+// exact-size slice.
+func gatherPairs(e *Executor, ranges [][2]int, kernel func(r [2]int, buf []index.PairID) []index.PairID) []index.PairID {
+	bufs := make([]*[]index.PairID, len(ranges))
+	e.run(len(ranges), func(s int) {
+		b := getPairBuf()
+		*b = kernel(ranges[s], *b)
+		bufs[s] = b
+	})
+	total := 0
+	for _, b := range bufs {
+		total += len(*b)
+	}
+	out := make([]index.PairID, 0, total)
+	for _, b := range bufs {
+		out = append(out, *b...)
+		putPairBuf(b)
+	}
+	return out
+}
+
+// gatherIDs is gatherPairs for identifier outputs.
+func gatherIDs(e *Executor, ranges [][2]int, kernel func(r [2]int, buf []core.ID) []core.ID) []core.ID {
+	bufs := make([]*[]core.ID, len(ranges))
+	e.run(len(ranges), func(s int) {
+		b := getIDBuf()
+		*b = kernel(ranges[s], *b)
+		bufs[s] = b
+	})
+	total := 0
+	for _, b := range bufs {
+		total += len(*b)
+	}
+	out := make([]core.ID, 0, total)
+	for _, b := range bufs {
+		out = append(out, *b...)
+		putIDBuf(b)
+	}
+	return out
+}

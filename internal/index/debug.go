@@ -1,0 +1,64 @@
+package index
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Document-order sortedness is a maintained invariant of NameIndex
+// postings: Build emits walk order, and ApplyDelta preserves order by
+// substituting in place and splicing the one contiguous inserted run —
+// neither ever sorts. The parallel execution layer (internal/exec) leans on
+// the invariant twice: contiguous posting shards can be joined
+// independently, and shard outputs merge by plain concatenation. Because
+// nothing re-sorts per query, a violation would surface as wrong query
+// results, not a crash; the debug check below turns it into a loud failure
+// at the point of corruption instead.
+
+// debugChecks gates the O(postings) sortedness verification after Build and
+// ApplyDelta. It defaults to the RUID_DEBUG environment variable and is
+// toggled programmatically by tests.
+var debugChecks atomic.Bool
+
+func init() {
+	if os.Getenv("RUID_DEBUG") != "" {
+		debugChecks.Store(true)
+	}
+}
+
+// SetDebugChecks enables or disables the sortedness assertions and returns
+// the previous setting.
+func SetDebugChecks(on bool) bool {
+	return debugChecks.Swap(on)
+}
+
+// CheckSorted verifies that every posting list is strictly ascending in
+// document order (which implies no duplicates). It returns nil for generic
+// (boxed) indexes, whose postings inherit walk order from Build and are
+// never patched.
+func (ix *NameIndex) CheckSorted() error {
+	if ix.ruid == nil {
+		return nil
+	}
+	for name, ps := range ix.ruidByName {
+		for i := 1; i < len(ps); i++ {
+			if ix.ruid.CompareOrderID(ps[i-1], ps[i]) >= 0 {
+				return fmt.Errorf("index: postings for %q out of document order at %d: %v !< %v",
+					name, i, ps[i-1], ps[i])
+			}
+		}
+	}
+	return nil
+}
+
+// assertSorted panics on a sortedness violation when debug checks are on.
+// Build and ApplyDelta call it on their result.
+func (ix *NameIndex) assertSorted(op string) {
+	if !debugChecks.Load() {
+		return
+	}
+	if err := ix.CheckSorted(); err != nil {
+		panic(fmt.Sprintf("index: %s broke the sortedness invariant: %v", op, err))
+	}
+}

@@ -80,5 +80,6 @@ func (ix *NameIndex) ApplyDelta(
 			out.ruidByName[name] = list
 		}
 	}
+	out.assertSorted("ApplyDelta")
 	return out, nil
 }

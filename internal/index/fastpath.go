@@ -13,11 +13,31 @@ import (
 // computed with the concrete RParent, and the output slices are
 // preallocated from the input cardinalities. Both paths return identical
 // results; TestFastPathAgree pins that.
+//
+// Each join is split into a probe-set constructor (MakeIDSet) and an
+// Append* kernel that processes one contiguous run of descendants into a
+// caller-supplied buffer. The one-shot *RUID functions below are thin
+// wrappers; internal/exec shards the same kernels by frame area and runs
+// them concurrently against one shared probe set.
 
 // PairID is one (ancestor, descendant) join result in unboxed form.
 type PairID struct {
 	Ancestor   core.ID
 	Descendant core.ID
+}
+
+// IDSet is an allocation-free membership probe over concrete identifiers —
+// the hash side of the upward joins. It is built once per join and then
+// only read, so concurrent shard kernels may share one instance.
+type IDSet map[core.ID]struct{}
+
+// MakeIDSet builds the probe set of ids.
+func MakeIDSet(ids []core.ID) IDSet {
+	set := make(IDSet, len(ids))
+	for _, id := range ids {
+		set[id] = struct{}{}
+	}
+	return set
 }
 
 // rparentID climbs one step with the concrete rparent arithmetic; a foreign
@@ -30,15 +50,11 @@ func rparentID(n *core.Numbering, id core.ID) (core.ID, bool) {
 	return p, ok
 }
 
-// UpwardJoinRUID is the unboxed form of UpwardJoin: every pair (a, d) with
-// a ∈ ancs a proper ancestor of d ∈ descs, in document order of the
-// descendant, computed by rparent arithmetic against a hash of ancs.
-func UpwardJoinRUID(n *core.Numbering, ancs, descs []core.ID) []PairID {
-	set := make(map[core.ID]struct{}, len(ancs))
-	for _, a := range ancs {
-		set[a] = struct{}{}
-	}
-	out := make([]PairID, 0, len(descs))
+// AppendUpwardJoinRUID is the upward-join kernel over one descendant run:
+// for every d in descs whose ancestor chain hits set, the (ancestor, d)
+// pairs are appended to out in climb order (nearest ancestor first), and
+// the extended slice is returned.
+func AppendUpwardJoinRUID(n *core.Numbering, set IDSet, descs []core.ID, out []PairID) []PairID {
 	for _, d := range descs {
 		cur := d
 		for {
@@ -55,14 +71,17 @@ func UpwardJoinRUID(n *core.Numbering, ancs, descs []core.ID) []PairID {
 	return out
 }
 
-// UpwardSemiJoinRUID is the unboxed form of UpwardSemiJoin: the descendants
-// of descs having at least one ancestor in ancs, in input order.
-func UpwardSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
-	set := make(map[core.ID]struct{}, len(ancs))
-	for _, a := range ancs {
-		set[a] = struct{}{}
-	}
-	out := make([]core.ID, 0, len(descs))
+// UpwardJoinRUID is the unboxed form of UpwardJoin: every pair (a, d) with
+// a ∈ ancs a proper ancestor of d ∈ descs, in document order of the
+// descendant, computed by rparent arithmetic against a hash of ancs.
+func UpwardJoinRUID(n *core.Numbering, ancs, descs []core.ID) []PairID {
+	return AppendUpwardJoinRUID(n, MakeIDSet(ancs), descs, make([]PairID, 0, len(descs)))
+}
+
+// AppendUpwardSemiJoinRUID is the upward-semi-join kernel over one
+// descendant run: every d in descs with at least one ancestor in set is
+// appended to out (input order preserved).
+func AppendUpwardSemiJoinRUID(n *core.Numbering, set IDSet, descs []core.ID, out []core.ID) []core.ID {
 	for _, d := range descs {
 		cur := d
 		for {
@@ -75,6 +94,26 @@ func UpwardSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
 				break
 			}
 			cur = p
+		}
+	}
+	return out
+}
+
+// UpwardSemiJoinRUID is the unboxed form of UpwardSemiJoin: the descendants
+// of descs having at least one ancestor in ancs, in input order.
+func UpwardSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	return AppendUpwardSemiJoinRUID(n, MakeIDSet(ancs), descs, make([]core.ID, 0, len(descs)))
+}
+
+// AppendParentSemiJoinRUID is the parent-semi-join kernel over one
+// descendant run: every d in descs whose direct parent is in set is
+// appended to out. One rparent computation per candidate.
+func AppendParentSemiJoinRUID(n *core.Numbering, set IDSet, descs []core.ID, out []core.ID) []core.ID {
+	for _, d := range descs {
+		if p, ok := rparentID(n, d); ok {
+			if _, hit := set[p]; hit {
+				out = append(out, d)
+			}
 		}
 	}
 	return out
@@ -84,30 +123,14 @@ func UpwardSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
 // of descs whose direct parent is in ancs, in input order. One rparent
 // computation per candidate.
 func ParentSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
-	set := make(map[core.ID]struct{}, len(ancs))
-	for _, a := range ancs {
-		set[a] = struct{}{}
-	}
-	out := make([]core.ID, 0, len(descs))
-	for _, d := range descs {
-		if p, ok := rparentID(n, d); ok {
-			if _, hit := set[p]; hit {
-				out = append(out, d)
-			}
-		}
-	}
-	return out
+	return AppendParentSemiJoinRUID(n, MakeIDSet(ancs), descs, make([]core.ID, 0, len(descs)))
 }
 
-// AncestorSemiJoinRUID is the unboxed form of AncestorSemiJoin: the
-// ancestors of ancs having at least one proper descendant in descs, in
-// ancs order.
-func AncestorSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
-	set := make(map[core.ID]struct{}, len(ancs))
-	for _, a := range ancs {
-		set[a] = struct{}{}
-	}
-	hit := make(map[core.ID]struct{})
+// CollectAncestorHitsRUID is the probing half of the ancestor semi-join
+// over one descendant run: every member of set found on the ancestor chain
+// of some d ∈ descs is recorded in hit. Each shard accumulates into its own
+// hit set; the caller unions them and filters the ancestor list in order.
+func CollectAncestorHitsRUID(n *core.Numbering, set IDSet, descs []core.ID, hit IDSet) {
 	for _, d := range descs {
 		cur := d
 		for {
@@ -121,23 +144,22 @@ func AncestorSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
 			cur = p
 		}
 	}
-	out := make([]core.ID, 0, len(hit))
-	for _, a := range ancs {
-		if _, in := hit[a]; in {
-			out = append(out, a)
-		}
-	}
-	return out
 }
 
-// ChildSemiJoinRUID is the unboxed form of ChildSemiJoin: the ancestors of
-// ancs having at least one direct child in descs, in ancs order.
-func ChildSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
-	set := make(map[core.ID]struct{}, len(ancs))
-	for _, a := range ancs {
-		set[a] = struct{}{}
-	}
-	hit := make(map[core.ID]struct{})
+// AncestorSemiJoinRUID is the unboxed form of AncestorSemiJoin: the
+// ancestors of ancs having at least one proper descendant in descs, in
+// ancs order.
+func AncestorSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	set := MakeIDSet(ancs)
+	hit := make(IDSet)
+	CollectAncestorHitsRUID(n, set, descs, hit)
+	return AppendHitMembersRUID(ancs, hit, make([]core.ID, 0, len(hit)))
+}
+
+// CollectChildHitsRUID is the probing half of the child semi-join over one
+// descendant run: every member of set that is the direct parent of some
+// d ∈ descs is recorded in hit.
+func CollectChildHitsRUID(n *core.Numbering, set IDSet, descs []core.ID, hit IDSet) {
 	for _, d := range descs {
 		if p, ok := rparentID(n, d); ok {
 			if _, in := set[p]; in {
@@ -145,8 +167,22 @@ func ChildSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
 			}
 		}
 	}
-	out := make([]core.ID, 0, len(hit))
-	for _, a := range ancs {
+}
+
+// ChildSemiJoinRUID is the unboxed form of ChildSemiJoin: the ancestors of
+// ancs having at least one direct child in descs, in ancs order.
+func ChildSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
+	set := MakeIDSet(ancs)
+	hit := make(IDSet)
+	CollectChildHitsRUID(n, set, descs, hit)
+	return AppendHitMembersRUID(ancs, hit, make([]core.ID, 0, len(hit)))
+}
+
+// AppendHitMembersRUID appends the members of ids present in hit to out,
+// preserving ids order — the emission half of both bottom-up semi-joins.
+// internal/exec calls it once on the union of per-shard hit sets.
+func AppendHitMembersRUID(ids []core.ID, hit IDSet, out []core.ID) []core.ID {
+	for _, a := range ids {
 		if _, in := hit[a]; in {
 			out = append(out, a)
 		}
@@ -154,32 +190,71 @@ func ChildSemiJoinRUID(n *core.Numbering, ancs, descs []core.ID) []core.ID {
 	return out
 }
 
-// MergeJoinRUID is the unboxed form of MergeJoin: the stack-based
-// sort-merge join over document-ordered inputs, using the concrete
-// CompareOrderID/IsAncestorID decision procedures.
-func MergeJoinRUID(n *core.Numbering, ancs, descs []core.ID) []PairID {
-	out := make([]PairID, 0, len(descs))
-	var stack []core.ID
+// MergeScratch holds the reusable per-run state of the merge-join kernel:
+// the open-ancestor stack and the two chain buffers. The zero value is
+// ready to use; internal/exec pools instances across shards.
+type MergeScratch struct {
+	stack  []core.ID
+	aChain []core.ID
+	dChain []core.ID
+}
+
+// AppendMergeJoinRUID is the stack-based sort-merge kernel over one
+// contiguous descendant run. Both inputs must be in document order. The
+// kernel climbs each identifier's ancestor chain exactly once (one chain
+// per admitted ancestor, one per descendant) and decides order and
+// ancestorship from the chains (core.CompareChains), instead of paying
+// several RParent climbs per comparison the way the boxed merge join does —
+// that chain amortization is what makes the fast path fast.
+//
+// startStack, when non-nil, seeds the open-ancestor stack (outermost
+// first): a shard kernel passes the ancs members lying on the first
+// descendant's ancestor chain, which is exactly the serial algorithm's
+// stack state at that descendant. ancs must start at the first candidate
+// not yet admitted by that seed.
+func AppendMergeJoinRUID(n *core.Numbering, ancs, descs []core.ID, startStack []core.ID, sc *MergeScratch, out []PairID) []PairID {
+	if sc == nil {
+		sc = &MergeScratch{}
+	}
+	stack := append(sc.stack[:0], startStack...)
 	i := 0
 	for _, d := range descs {
+		dChain := n.AppendAncestorChainID(sc.dChain[:0], d)
 		// Admit every ancestor candidate that starts before d.
-		for i < len(ancs) && n.CompareOrderID(ancs[i], d) < 0 {
+		for i < len(ancs) {
+			aChain := n.AppendAncestorChainID(sc.aChain[:0], ancs[i])
+			if core.CompareChains(aChain, dChain) >= 0 {
+				sc.aChain = aChain
+				break
+			}
 			// Pop candidates whose subtree closed before this one starts.
-			for len(stack) > 0 && !n.IsAncestorID(stack[len(stack)-1], ancs[i]) &&
-				n.CompareOrderID(stack[len(stack)-1], ancs[i]) < 0 {
+			// Stack entries precede ancs[i] (sorted input), so "closed
+			// before" is exactly "not a proper ancestor of ancs[i]".
+			for len(stack) > 0 && !core.ChainContainsProper(aChain, stack[len(stack)-1]) {
 				stack = stack[:len(stack)-1]
 			}
 			stack = append(stack, ancs[i])
+			sc.aChain = aChain
 			i++
 		}
 		// Pop candidates whose subtree closed before d.
-		for len(stack) > 0 && !n.IsAncestorID(stack[len(stack)-1], d) {
+		for len(stack) > 0 && !core.ChainContainsProper(dChain, stack[len(stack)-1]) {
 			stack = stack[:len(stack)-1]
 		}
 		// Every remaining stack entry is an ancestor of d (they are nested).
 		for _, a := range stack {
 			out = append(out, PairID{Ancestor: a, Descendant: d})
 		}
+		sc.dChain = dChain
 	}
+	sc.stack = stack
 	return out
+}
+
+// MergeJoinRUID is the unboxed form of MergeJoin: the stack-based
+// sort-merge join over document-ordered inputs, using chain-amortized
+// order and ancestorship decisions.
+func MergeJoinRUID(n *core.Numbering, ancs, descs []core.ID) []PairID {
+	var sc MergeScratch
+	return AppendMergeJoinRUID(n, ancs, descs, nil, &sc, make([]PairID, 0, len(descs)))
 }

@@ -30,7 +30,11 @@ import (
 )
 
 // NameIndex is an in-memory inverted index from element name to the
-// identifiers of the elements carrying it, in document order.
+// identifiers of the elements carrying it, in document order. Sortedness is
+// a maintained invariant, not a per-query step: Build emits walk order,
+// ApplyDelta patches in place and splices, and nothing downstream re-sorts
+// (see debug.go). The join pipelines, the reconstruction fast path and the
+// parallel shard merge all rely on it.
 //
 // When the index is built over the concrete ruid numbering
 // (*core.Numbering), postings are stored unboxed as []core.ID and the join
@@ -60,6 +64,7 @@ func Build(root *xmltree.Node, s scheme.Scheme) *NameIndex {
 			}
 			return true
 		})
+		ix.assertSorted("Build")
 		return ix
 	}
 	ix.byName = make(map[string][]scheme.ID)

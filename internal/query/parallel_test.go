@@ -1,0 +1,72 @@
+package query_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/xmltree"
+)
+
+// TestParallelDeterminism pins the tentpole guarantee of the parallel
+// execution layer: for every conformance query, parallel and serial
+// execution return identical result sequences — same nodes, same order —
+// whatever GOMAXPROCS and worker count are in effect. The CI race job runs
+// this with GOMAXPROCS=1 as well; the loop below additionally forces 1, 2
+// and 8 scheduler threads in-process.
+func TestParallelDeterminism(t *testing.T) {
+	docs := map[string]*xmltree.Node{
+		"xmark":     xmltree.XMark(2, 9),
+		"recursive": xmltree.Recursive(2, 7),
+		"dblp":      xmltree.DBLP(300, 4),
+	}
+	queries := []string{
+		// Join-compilable chains.
+		"/site//item/name", "//section//title", "/dblp/article/author",
+		"//regions//item//text", "/book//para",
+		// Twig-compilable branching patterns.
+		"//item[name]//text", "//person[profile]/name",
+		"//open_auction[bidder][itemref]/initial",
+		// Navigation fallbacks (executor-independent, kept as control).
+		"//item[1]", "//title | //name", "//section/..",
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for dn, doc := range docs {
+		p := newPlanner(t, doc)
+		// Serial reference sequences, computed before touching GOMAXPROCS.
+		p.SetExecutor(exec.New(exec.Config{Mode: exec.Serial}))
+		type ref struct{ nodes []*xmltree.Node }
+		want := make(map[string]ref, len(queries))
+		for _, q := range queries {
+			nodes, _, err := p.Run(q)
+			if err != nil {
+				t.Fatalf("%s: serial Run(%q): %v", dn, q, err)
+			}
+			want[q] = ref{nodes}
+		}
+		for _, procs := range []int{1, 2, 8} {
+			runtime.GOMAXPROCS(procs)
+			for _, workers := range []int{1, 2, 8} {
+				p.SetExecutor(exec.New(exec.Config{Mode: exec.Forced, Workers: workers}))
+				for _, q := range queries {
+					t.Run(fmt.Sprintf("%s/procs=%d/p=%d/%s", dn, procs, workers, q), func(t *testing.T) {
+						got, plan, err := p.Run(q)
+						if err != nil {
+							t.Fatalf("parallel Run: %v", err)
+						}
+						w := want[q].nodes
+						if len(got) != len(w) {
+							t.Fatalf("[%s] %d nodes, serial %d", plan.Kind, len(got), len(w))
+						}
+						for i := range got {
+							if got[i] != w[i] {
+								t.Fatalf("[%s] node %d differs from serial", plan.Kind, i)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}

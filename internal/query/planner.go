@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataguide"
+	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/scheme"
 	"repro/internal/twig"
@@ -84,6 +85,7 @@ type Planner struct {
 	ix     *index.NameIndex
 	guide  *dataguide.Guide
 	engine *xpath.Engine
+	exec   *exec.Executor
 
 	nodes     int
 	meanDepth float64
@@ -102,6 +104,7 @@ func New(doc *xmltree.Node, s scheme.AxisScheme) *Planner {
 		ix:     index.Build(root, s),
 		guide:  dataguide.Build(doc),
 		engine: xpath.NewEngine(doc, xpath.SchemeNavigator{S: s}),
+		exec:   exec.Default(),
 	}
 	total, count := 0, 0
 	root.Walk(func(x *xmltree.Node) bool {
@@ -129,6 +132,7 @@ func NewWithState(doc *xmltree.Node, s scheme.AxisScheme, ix *index.NameIndex, g
 		ix:     ix,
 		guide:  guide,
 		engine: xpath.NewEngine(doc, xpath.SchemeNavigator{S: s}),
+		exec:   exec.Default(),
 		nodes:  nodes,
 	}
 	if nodes > 0 {
@@ -139,6 +143,19 @@ func NewWithState(doc *xmltree.Node, s scheme.AxisScheme, ix *index.NameIndex, g
 
 // Index exposes the planner's name index (for statistics and tests).
 func (p *Planner) Index() *index.NameIndex { return p.ix }
+
+// SetExecutor replaces the executor scheduling the identifier pipelines —
+// the facade routes its Parallel option here. A nil executor resets to the
+// process-wide default.
+func (p *Planner) SetExecutor(e *exec.Executor) {
+	if e == nil {
+		e = exec.Default()
+	}
+	p.exec = e
+}
+
+// Executor returns the executor scheduling the identifier pipelines.
+func (p *Planner) Executor() *exec.Executor { return p.exec }
 
 // Guide exposes the planner's DataGuide structural summary.
 func (p *Planner) Guide() *dataguide.Guide { return p.guide }
@@ -280,7 +297,7 @@ func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
 	if rn := p.ix.RUID(); rn != nil {
 		var ids []core.ID
 		if plan.Kind == TwigPlan {
-			ids, _ = twig.MatchIDs(plan.pattern, p.ix)
+			ids, _ = twig.MatchIDsWith(plan.pattern, p.ix, p.exec)
 		} else {
 			ids = p.runChainRUID(rn, plan.chain)
 		}
@@ -330,9 +347,9 @@ func (p *Planner) runChainRUID(rn *core.Numbering, chain []step) []core.ID {
 			return nil
 		}
 		if st.descendant {
-			cur = index.UpwardSemiJoinRUID(rn, cur, p.ix.RuidIDs(st.name))
+			cur = p.exec.UpwardSemiJoin(rn, cur, p.ix.RuidIDs(st.name))
 		} else {
-			cur = index.ParentSemiJoinRUID(rn, cur, p.ix.RuidIDs(st.name))
+			cur = p.exec.ParentSemiJoin(rn, cur, p.ix.RuidIDs(st.name))
 		}
 	}
 	return cur

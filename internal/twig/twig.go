@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/scheme"
 	"repro/internal/xpath"
@@ -289,13 +290,21 @@ func anchorToRoot(ids []scheme.ID, s scheme.Scheme) []scheme.ID {
 // semi-join of both passes runs on concrete core.ID slices with no
 // interface boxing or per-probe key allocation. The second result is false
 // when the index is not ruid-backed (callers fall back to Match's generic
-// path).
+// path). Semi-joins are scheduled by the process-wide default executor;
+// MatchIDsWith takes an explicit one.
 func MatchIDs(p *Node, ix *index.NameIndex) ([]core.ID, bool) {
+	return MatchIDsWith(p, ix, exec.Default())
+}
+
+// MatchIDsWith is MatchIDs with every semi-join of both passes scheduled by
+// e: large postings are sharded by frame area and probed concurrently, and
+// the parallel and serial paths return identical identifier sequences.
+func MatchIDsWith(p *Node, ix *index.NameIndex, e *exec.Executor) ([]core.ID, bool) {
 	n := ix.RUID()
 	if n == nil {
 		return nil, false
 	}
-	sat := satisfyRUID(p, ix, n)
+	sat := satisfyRUID(p, ix, n, e)
 	// Top-down prefix filtering along the output path.
 	cur := sat[p]
 	if p.Anchored {
@@ -319,9 +328,9 @@ func MatchIDs(p *Node, ix *index.NameIndex) ([]core.ID, bool) {
 			return nil, true // no output node (cannot happen for compiled patterns)
 		}
 		if next.Edge == Descendant {
-			cur = index.UpwardSemiJoinRUID(n, cur, sat[next])
+			cur = e.UpwardSemiJoin(n, cur, sat[next])
 		} else {
-			cur = index.ParentSemiJoinRUID(n, cur, sat[next])
+			cur = e.ParentSemiJoin(n, cur, sat[next])
 		}
 		node = next
 	}
@@ -329,8 +338,9 @@ func MatchIDs(p *Node, ix *index.NameIndex) ([]core.ID, bool) {
 }
 
 // satisfyRUID is the unboxed form of satisfy: bottom-up, the elements that
-// embed each pattern node's subtree, as concrete identifier lists.
-func satisfyRUID(p *Node, ix *index.NameIndex, n *core.Numbering) map[*Node][]core.ID {
+// embed each pattern node's subtree, as concrete identifier lists. Each
+// semi-join runs through e.
+func satisfyRUID(p *Node, ix *index.NameIndex, n *core.Numbering, e *exec.Executor) map[*Node][]core.ID {
 	sat := make(map[*Node][]core.ID)
 	var walk func(t *Node)
 	walk = func(t *Node) {
@@ -343,9 +353,9 @@ func satisfyRUID(p *Node, ix *index.NameIndex, n *core.Numbering) map[*Node][]co
 				break
 			}
 			if c.Edge == Descendant {
-				cur = index.AncestorSemiJoinRUID(n, cur, sat[c])
+				cur = e.AncestorSemiJoin(n, cur, sat[c])
 			} else {
-				cur = index.ChildSemiJoinRUID(n, cur, sat[c])
+				cur = e.ChildSemiJoin(n, cur, sat[c])
 			}
 		}
 		sat[t] = cur
