@@ -696,6 +696,7 @@ func BenchmarkParallelJoins(b *testing.B) {
 	rn := workload.BuildRUID(doc)
 	ix := index.Build(doc.DocumentElement(), rn)
 	ancs, descs := ix.RuidIDs("section"), ix.RuidIDs("title")
+	ancsP, descsP := ix.Postings("section"), ix.Postings("title")
 	pattern, err := twig.Compile("//section[title]//title")
 	if err != nil {
 		b.Fatal(err)
@@ -725,19 +726,19 @@ func BenchmarkParallelJoins(b *testing.B) {
 		b.Run("merge_join/"+ex.tag, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				benchSink += len(e.MergeJoin(rn, ancs, descs))
+				benchSink += len(e.MergeJoin(rn, ancsP, descsP))
 			}
 		})
 		b.Run("upward_join/"+ex.tag, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				benchSink += len(e.UpwardJoin(rn, ancs, descs))
+				benchSink += len(e.UpwardJoin(rn, ancsP, descsP))
 			}
 		})
 		b.Run("upward_semi_join/"+ex.tag, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				benchSink += len(e.UpwardSemiJoin(rn, ancs, descs))
+				benchSink += len(e.UpwardSemiJoin(rn, ancsP, descsP))
 			}
 		})
 		b.Run("path_query/"+ex.tag, func(b *testing.B) {

@@ -55,15 +55,36 @@ func load(path string) (map[string]result, error) {
 // missing (renamed, dropped from the harness).
 var requiredBenches = []string{"epoch_publish/nodes=5000", "epoch_publish/nodes=50000"}
 
-// diff writes the per-benchmark comparison to w (names sorted) and reports
-// whether the gate fails: a regression beyond maxRegress, a required or
-// baseline benchmark missing from current (REMOVED), or a current
-// benchmark absent from the baseline (ADDED — the baseline file is stale).
-func diff(w io.Writer, baseline, current map[string]result, maxRegress float64) bool {
+// Row statuses.
+const (
+	statusOK       = "ok"
+	statusRegress  = "REGRESS"
+	statusAdded    = "ADDED"
+	statusRemoved  = "REMOVED"
+	statusRequired = "REQUIRED"
+)
+
+// diffRow is one benchmark's comparison, renderer-independent.
+type diffRow struct {
+	status  string
+	name    string
+	baseNs  float64
+	curNs   float64
+	hasBase bool
+	hasCur  bool
+}
+
+// compare builds the per-benchmark comparison rows (names sorted) and
+// reports whether the gate fails: a regression beyond maxRegress, a
+// required or baseline benchmark missing from current (REMOVED), or a
+// current benchmark absent from the baseline (ADDED — the baseline file is
+// stale).
+func compare(baseline, current map[string]result, maxRegress float64) ([]diffRow, bool) {
+	var out []diffRow
 	failed := false
 	for _, required := range requiredBenches {
 		if _, ok := current[required]; !ok {
-			fmt.Fprintf(w, "REQUIRED %-32s missing from current run\n", required)
+			out = append(out, diffRow{status: statusRequired, name: required})
 			failed = true
 		}
 	}
@@ -80,25 +101,78 @@ func diff(w io.Writer, baseline, current map[string]result, maxRegress float64) 
 	for _, name := range names {
 		base, inBase := baseline[name]
 		cur, inCur := current[name]
+		row := diffRow{name: name, baseNs: base.NsPerOp, curNs: cur.NsPerOp, hasBase: inBase, hasCur: inCur}
 		switch {
 		case !inCur:
-			fmt.Fprintf(w, "REMOVED %-32s (in baseline, not in current run)\n", name)
+			row.status = statusRemoved
 			failed = true
 		case !inBase:
-			fmt.Fprintf(w, "ADDED   %-32s %12.1f ns/op  (not in baseline; regenerate BENCH_baseline.json)\n",
-				name, cur.NsPerOp)
+			row.status = statusAdded
+			failed = true
+		case cur.NsPerOp > base.NsPerOp*(1+maxRegress):
+			row.status = statusRegress
 			failed = true
 		default:
-			ratio := cur.NsPerOp / base.NsPerOp
+			row.status = statusOK
+		}
+		out = append(out, row)
+	}
+	return out, failed
+}
+
+func (r diffRow) deltaPercent() float64 { return (r.curNs/r.baseNs - 1) * 100 }
+
+// renderText writes the rows in the plain aligned format CI logs show.
+func renderText(w io.Writer, rows []diffRow) {
+	for _, r := range rows {
+		switch r.status {
+		case statusRequired:
+			fmt.Fprintf(w, "REQUIRED %-32s missing from current run\n", r.name)
+		case statusRemoved:
+			fmt.Fprintf(w, "REMOVED %-32s (in baseline, not in current run)\n", r.name)
+		case statusAdded:
+			fmt.Fprintf(w, "ADDED   %-32s %12.1f ns/op  (not in baseline; regenerate BENCH_baseline.json)\n",
+				r.name, r.curNs)
+		default:
 			status := "ok     "
-			if cur.NsPerOp > base.NsPerOp*(1+maxRegress) {
+			if r.status == statusRegress {
 				status = "REGRESS"
-				failed = true
 			}
 			fmt.Fprintf(w, "%s %-32s %12.1f ns/op -> %12.1f ns/op  (%+.1f%%)\n",
-				status, name, base.NsPerOp, cur.NsPerOp, (ratio-1)*100)
+				status, r.name, r.baseNs, r.curNs, r.deltaPercent())
 		}
 	}
+}
+
+// renderMarkdown writes the same rows as a GitHub-flavored markdown table,
+// for PR comments and job summaries.
+func renderMarkdown(w io.Writer, rows []diffRow) {
+	fmt.Fprintln(w, "| status | benchmark | baseline ns/op | current ns/op | delta |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|")
+	for _, r := range rows {
+		switch r.status {
+		case statusRequired:
+			fmt.Fprintf(w, "| **%s** | `%s` | — | — | missing from current run |\n", r.status, r.name)
+		case statusRemoved:
+			fmt.Fprintf(w, "| **%s** | `%s` | %.1f | — | in baseline, not in current run |\n",
+				r.status, r.name, r.baseNs)
+		case statusAdded:
+			fmt.Fprintf(w, "| **%s** | `%s` | — | %.1f | not in baseline; regenerate BENCH_baseline.json |\n",
+				r.status, r.name, r.curNs)
+		case statusRegress:
+			fmt.Fprintf(w, "| **%s** | `%s` | %.1f | %.1f | %+.1f%% |\n",
+				r.status, r.name, r.baseNs, r.curNs, r.deltaPercent())
+		default:
+			fmt.Fprintf(w, "| %s | `%s` | %.1f | %.1f | %+.1f%% |\n",
+				r.status, r.name, r.baseNs, r.curNs, r.deltaPercent())
+		}
+	}
+}
+
+// diff writes the text comparison to w and reports whether the gate fails.
+func diff(w io.Writer, baseline, current map[string]result, maxRegress float64) bool {
+	rows, failed := compare(baseline, current, maxRegress)
+	renderText(w, rows)
 	return failed
 }
 
@@ -106,6 +180,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
 	currentPath := flag.String("current", "", "fresh ruidbench -json output to check")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed ns/op regression ratio (0.25 = +25%)")
+	markdown := flag.Bool("markdown", false, "emit the comparison as a GitHub-flavored markdown table")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
@@ -123,7 +198,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if diff(os.Stdout, baseline, current, *maxRegress) {
+	rows, failed := compare(baseline, current, *maxRegress)
+	if *markdown {
+		renderMarkdown(os.Stdout, rows)
+	} else {
+		renderText(os.Stdout, rows)
+	}
+	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%%, or added/removed benchmark\n", *maxRegress*100)
 		os.Exit(1)
 	}

@@ -91,3 +91,32 @@ func TestDiffRequiredMissing(t *testing.T) {
 		t.Fatalf("report lacks REQUIRED line:\n%s", sb.String())
 	}
 }
+
+// TestMarkdownRender: the -markdown renderer emits a GFM table over the
+// same rows the text renderer (and the gate) sees.
+func TestMarkdownRender(t *testing.T) {
+	base := rows(withRequired(map[string]float64{"join/a": 100, "join/gone": 50}))
+	cur := rows(withRequired(map[string]float64{"join/a": 200, "parallel/new": 10}))
+	delete(cur, "join/gone")
+	diffRows, failed := compare(base, cur, 0.25)
+	if !failed {
+		t.Fatal("regression + added + removed passed the gate")
+	}
+	var sb strings.Builder
+	renderMarkdown(&sb, diffRows)
+	out := sb.String()
+	for _, want := range []string{
+		"| status | benchmark | baseline ns/op | current ns/op | delta |",
+		"|---|---|---:|---:|---:|",
+		"| **REGRESS** | `join/a` | 100.0 | 200.0 | +100.0% |",
+		"| **ADDED** | `parallel/new` |",
+		"| **REMOVED** | `join/gone` |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REQUIRED") {
+		t.Fatalf("REQUIRED row present despite required benches existing:\n%s", out)
+	}
+}

@@ -96,6 +96,7 @@ func parallelBenches() []struct {
 	rn := workload.BuildRUID(doc)
 	ix := index.Build(doc.DocumentElement(), rn)
 	ancs, descs := ix.RuidIDs("section"), ix.RuidIDs("title")
+	ancsP, descsP := ix.Postings("section"), ix.Postings("title")
 	pattern, err := twig.Compile("//section[title]//title")
 	if err != nil {
 		panic(err)
@@ -147,17 +148,17 @@ func parallelBenches() []struct {
 		e := ex.e
 		add("parallel/merge_join/"+ex.tag, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				microSink += len(e.MergeJoin(rn, ancs, descs))
+				microSink += len(e.MergeJoin(rn, ancsP, descsP))
 			}
 		})
 		add("parallel/upward_join/"+ex.tag, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				microSink += len(e.UpwardJoin(rn, ancs, descs))
+				microSink += len(e.UpwardJoin(rn, ancsP, descsP))
 			}
 		})
 		add("parallel/upward_semi_join/"+ex.tag, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				microSink += len(e.UpwardSemiJoin(rn, ancs, descs))
+				microSink += len(e.UpwardSemiJoin(rn, ancsP, descsP))
 			}
 		})
 		add("parallel/path_query/"+ex.tag, func(b *testing.B) {
@@ -173,6 +174,120 @@ func parallelBenches() []struct {
 		})
 	}
 	return out
+}
+
+// selectiveFixture builds the seek-bench document: branches deep 8-ary
+// "leaf" subtrees under one root, with the middle branch's subtree root
+// renamed "needle". A needle→leaf join is maximally selective — the
+// ancestor side is one element confined to one branch — so the seek-based
+// kernels can skip the other branches' posting blocks entirely, while the
+// flat kernels still scan every leaf posting.
+func selectiveFixture(total, branches int) *xmltree.Node {
+	doc := xmltree.NewDocument()
+	root := xmltree.NewElement("doc")
+	doc.AppendChild(root)
+	for i := 0; i < branches; i++ {
+		sub := selectiveSubtree(total / branches)
+		if i == branches/2 {
+			sub.Name = "needle"
+		}
+		root.AppendChild(sub)
+	}
+	return doc
+}
+
+// selectiveSubtree returns a "leaf" subtree of exactly m elements with
+// fan-out at most 8.
+func selectiveSubtree(m int) *xmltree.Node {
+	el := xmltree.NewElement("leaf")
+	m--
+	q, r := m/8, m%8
+	for i := 0; i < 8; i++ {
+		sz := q
+		if i < r {
+			sz++
+		}
+		if sz > 0 {
+			el.AppendChild(selectiveSubtree(sz))
+		}
+	}
+	return el
+}
+
+// postingsBenches measures the block-compressed postings layer on the
+// ~50k-node selective fixture: the seek-based kernels (skip-table galloping)
+// against the flat-slice oracle on the same inputs, plus the cost of full
+// materialization that Postings consumers avoid.
+func postingsBenches() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	doc := selectiveFixture(50000, 64)
+	rn := workload.BuildRUID(doc)
+	ix := index.Build(doc.DocumentElement(), rn)
+	needle, leaf := ix.RuidIDs("needle"), ix.RuidIDs("leaf")
+	needleP, leafP := ix.Postings("needle"), ix.Postings("leaf")
+
+	var out []struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		out = append(out, struct {
+			name string
+			fn   func(b *testing.B)
+		}{name, fn})
+	}
+
+	add("postings/semi_join_selective/seek", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(index.UpwardSemiJoinPostings(rn, needleP, leafP))
+		}
+	})
+	add("postings/semi_join_selective/flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(index.UpwardSemiJoinRUID(rn, needle, leaf))
+		}
+	})
+	add("postings/merge_join_selective/seek", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(index.MergeJoinPostings(rn, needleP, leafP))
+		}
+	})
+	add("postings/merge_join_selective/flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(index.MergeJoinRUID(rn, needle, leaf))
+		}
+	})
+	add("postings/path_query_selective", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(ix.PathQueryRUID("needle", "leaf"))
+		}
+	})
+	add("postings/materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(ix.RuidIDs("leaf"))
+		}
+	})
+	return out
+}
+
+// bytesPerPostingRows reports the resident compression of the
+// block-compressed postings as pseudo-benchmark rows: the value (carried in
+// ns_per_op, lower is better) is PostingsSizeBytes / PostingsCount on a
+// 50k-node corpus — 16 element names attached at random positions, so the
+// per-name lists interleave areas the way real documents do. A flat
+// []core.ID posting costs 24 resident bytes per entry; the benchdiff gate
+// on this row keeps the ≥3x reduction from silently eroding.
+func bytesPerPostingRows() []microResult {
+	doc := xmltree.Random(xmltree.RandomConfig{Nodes: 50000, MaxFanout: 8, DepthBias: 0.3, Seed: 7})
+	rn := workload.BuildRUID(doc)
+	ix := index.Build(doc.DocumentElement(), rn)
+	return []microResult{{
+		Name:       "postings/bytes_per_posting/nodes=50000",
+		Iterations: 1,
+		NsPerOp:    float64(ix.PostingsSizeBytes()) / float64(ix.PostingsCount()),
+	}}
 }
 
 // microResult is one row of the -json output. The fields mirror what
@@ -301,8 +416,9 @@ func runMicrobench(out io.Writer) error {
 		{"epoch_publish/nodes=50000", epochPublishBench(50000)},
 	}
 	benches = append(benches, parallelBenches()...)
+	benches = append(benches, postingsBenches()...)
 
-	results := make([]microResult, 0, len(benches))
+	results := make([]microResult, 0, len(benches)+1)
 	for _, bench := range benches {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -316,6 +432,7 @@ func runMicrobench(out io.Writer) error {
 			AllocsPerOp: r.AllocsPerOp(),
 		})
 	}
+	results = append(results, bytesPerPostingRows()...)
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

@@ -44,12 +44,15 @@ func (id ID) String() string {
 	return fmt.Sprintf("(%d, %d, %v)", id.Global, id.Local, id.Root)
 }
 
+// KeyBytes is the length of the Key encoding.
+const KeyBytes = 17
+
 // Key returns a 17-byte encoding — 8-byte big-endian global index, 8-byte
 // big-endian local index, root flag — whose bytes.Compare order sorts
 // "first by the global index, and then by local index" exactly as the paper
 // prescribes for RDBMS storage (§2.1).
 func (id ID) Key() []byte {
-	var b [17]byte
+	var b [KeyBytes]byte
 	binary.BigEndian.PutUint64(b[0:8], uint64(id.Global))
 	binary.BigEndian.PutUint64(b[8:16], uint64(id.Local))
 	if id.Root {
@@ -61,7 +64,7 @@ func (id ID) Key() []byte {
 // DecodeKey parses a Key back into an ID. It returns false if the buffer is
 // not a valid encoding.
 func DecodeKey(b []byte) (ID, bool) {
-	if len(b) != 17 || b[16] > 1 {
+	if len(b) != KeyBytes || b[16] > 1 {
 		return ID{}, false
 	}
 	return ID{

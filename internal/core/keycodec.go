@@ -1,0 +1,56 @@
+// Varint delta codec for ID keys.
+//
+// Block-compressed posting lists (internal/index) store runs of
+// document-ordered identifiers. Consecutive postings almost always live in
+// the same or an adjacent UID-local area, so the component deltas
+// (ΔGlobal, ΔLocal) are tiny signed integers even though the flat Key()
+// encoding is 17 bytes. Each delta entry is two unsigned varints:
+//
+//	uvarint( zigzag(ΔGlobal)<<1 | rootBit )
+//	uvarint( zigzag(ΔLocal) )
+//
+// A same-area non-root posting with a small local step — the common case —
+// encodes in 2 bytes, versus 24 resident bytes for a core.ID.
+//
+// The shifted first varint caps |ΔGlobal| at 2^61-1; Load already rejects
+// numberings anywhere near that many areas, so every identifier a valid
+// Numbering hands out round-trips.
+package core
+
+import "encoding/binary"
+
+// zigzag maps signed deltas onto unsigned so small negatives stay short.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendIDDelta appends the delta encoding of id relative to prev.
+func AppendIDDelta(dst []byte, prev, id ID) []byte {
+	root := uint64(0)
+	if id.Root {
+		root = 1
+	}
+	dst = binary.AppendUvarint(dst, zigzag(id.Global-prev.Global)<<1|root)
+	dst = binary.AppendUvarint(dst, zigzag(id.Local-prev.Local))
+	return dst
+}
+
+// DecodeIDDelta decodes one delta entry from the front of b, relative to
+// prev. It returns the identifier, the number of bytes consumed and whether
+// the buffer held a well-formed entry; malformed or truncated input returns
+// ok=false and never panics.
+func DecodeIDDelta(b []byte, prev ID) (id ID, n int, ok bool) {
+	u1, n1 := binary.Uvarint(b)
+	if n1 <= 0 {
+		return ID{}, 0, false
+	}
+	u2, n2 := binary.Uvarint(b[n1:])
+	if n2 <= 0 {
+		return ID{}, 0, false
+	}
+	return ID{
+		Global: prev.Global + unzigzag(u1>>1),
+		Local:  prev.Local + unzigzag(u2),
+		Root:   u1&1 == 1,
+	}, n1 + n2, true
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIDDeltaRoundTrip(t *testing.T) {
+	ids := []ID{
+		RootID,
+		{Global: 1, Local: 2},
+		{Global: 1, Local: 63},
+		{Global: 2, Local: 1, Root: true},
+		{Global: 2, Local: 5},
+		{Global: 9, Local: 1, Root: true},
+		{Global: 3, Local: 40},
+		{Global: 1 << 40, Local: 1 << 35},
+		{Global: 1, Local: 1},
+	}
+	var buf []byte
+	prev := ID{}
+	for _, id := range ids {
+		buf = AppendIDDelta(buf, prev, id)
+		prev = id
+	}
+	prev = ID{}
+	off := 0
+	for i, want := range ids {
+		got, n, ok := DecodeIDDelta(buf[off:], prev)
+		if !ok {
+			t.Fatalf("entry %d: decode failed", i)
+		}
+		if got != want {
+			t.Fatalf("entry %d: got %v want %v", i, got, want)
+		}
+		off += n
+		prev = got
+	}
+	if off != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestIDDeltaRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	prev := ID{}
+	var buf []byte
+	var ids []ID
+	for i := 0; i < 10000; i++ {
+		id := ID{
+			Global: rng.Int63n(1 << 50),
+			Local:  rng.Int63n(1 << 50),
+			Root:   rng.Intn(4) == 0,
+		}
+		ids = append(ids, id)
+		buf = AppendIDDelta(buf, prev, id)
+		prev = id
+	}
+	prev = ID{}
+	off := 0
+	for i, want := range ids {
+		got, n, ok := DecodeIDDelta(buf[off:], prev)
+		if !ok || got != want {
+			t.Fatalf("entry %d: got %v (ok=%v) want %v", i, got, ok, want)
+		}
+		off += n
+		prev = got
+	}
+}
+
+// The codec exists to be small: a same-area step of +1 must be 2 bytes.
+func TestIDDeltaDenseSize(t *testing.T) {
+	var buf []byte
+	prev := ID{Global: 7, Local: 1, Root: true}
+	for l := int64(2); l <= 64; l++ {
+		buf = AppendIDDelta(buf, prev, ID{Global: 7, Local: l})
+		prev = ID{Global: 7, Local: l}
+	}
+	if len(buf) > 2*63 {
+		t.Fatalf("dense run encoded to %d bytes, want <= %d", len(buf), 2*63)
+	}
+}
+
+func TestDecodeIDDeltaMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x80},                         // truncated first varint
+		{0x02},                         // missing second varint
+		{0x02, 0x80},                   // truncated second varint
+		bytes.Repeat([]byte{0x80}, 11), // overlong varint
+		append([]byte{0x04}, bytes.Repeat([]byte{0xff}, 10)...),
+	}
+	for i, b := range cases {
+		if _, _, ok := DecodeIDDelta(b, RootID); ok {
+			t.Fatalf("case %d: decode of malformed %x succeeded", i, b)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 63, -64, math.MaxInt64, math.MinInt64} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("zigzag round trip of %d = %d", v, got)
+		}
+	}
+	if zigzag(0) != 0 || zigzag(-1) != 1 || zigzag(1) != 2 {
+		t.Fatalf("zigzag mapping wrong: %d %d %d", zigzag(0), zigzag(-1), zigzag(1))
+	}
+}

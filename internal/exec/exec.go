@@ -197,6 +197,35 @@ func putHitSet(s index.IDSet) {
 
 var mergeScratchPool = sync.Pool{New: func() any { return new(index.MergeScratch) }}
 
+var blockScratchPool = sync.Pool{New: func() any { return new(index.BlockScratch) }}
+
+func getBlockScratch() *index.BlockScratch  { return blockScratchPool.Get().(*index.BlockScratch) }
+func putBlockScratch(b *index.BlockScratch) { blockScratchPool.Put(b) }
+
+// shardBlocks cuts nblocks posting blocks into at most want contiguous
+// [lo, hi) block-index ranges of near-equal size. Blocks never split, so
+// every worker seeks its shard through the skip table exactly like the
+// serial kernel, and concatenating per-range outputs in range order
+// reproduces the serial output (document order).
+func shardBlocks(nblocks, want int) [][2]int {
+	if want > nblocks {
+		want = nblocks
+	}
+	if want <= 1 {
+		return [][2]int{{0, nblocks}}
+	}
+	ranges := make([][2]int, 0, want)
+	lo := 0
+	for s := 1; s <= want; s++ {
+		hi := s * nblocks / want
+		if hi > lo {
+			ranges = append(ranges, [2]int{lo, hi})
+			lo = hi
+		}
+	}
+	return ranges
+}
+
 // shardRanges cuts ids into at most want contiguous [lo, hi) ranges,
 // preferring cut points where the UID-local area (the Global component)
 // changes: a shard then holds whole areas wherever the area layout allows,

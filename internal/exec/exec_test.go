@@ -59,9 +59,22 @@ func subsample(r *rand.Rand, ids []core.ID, keep float64) []core.ID {
 	return out
 }
 
+// views returns the representations a posting run can reach the executor
+// in: the plain slice view (intermediate pipeline results) and the
+// block-compressed view (index-resident postings, rebuilt here from the
+// same identifiers).
+func views(ids []core.ID) map[string]index.Postings {
+	return map[string]index.Postings{
+		"slice": index.SlicePostings(ids),
+		"block": index.BlockPostings(index.BuildPostingList(ids)),
+	}
+}
+
 // TestParallelAgreesWithSerial runs every executor operation in Forced mode
 // at several worker counts over randomized document-order subsets of real
-// postings and requires byte-identical output versus the serial fast path.
+// postings, in every combination of slice-backed and block-compressed input
+// views, and requires byte-identical output versus the serial flat-slice
+// oracle.
 func TestParallelAgreesWithSerial(t *testing.T) {
 	n, ix := buildFixture(t, 9)
 	r := rand.New(rand.NewSource(7))
@@ -71,31 +84,62 @@ func TestParallelAgreesWithSerial(t *testing.T) {
 		if trial == 0 {
 			ancs, descs = ix.RuidIDs("section"), ix.RuidIDs("title")
 		}
-		for _, workers := range []int{1, 2, 3, 8} {
-			e := exec.New(exec.Config{Mode: exec.Forced, Workers: workers})
-			equalPairs(t, "UpwardJoin", e.UpwardJoin(n, ancs, descs), index.UpwardJoinRUID(n, ancs, descs))
-			equalPairs(t, "MergeJoin", e.MergeJoin(n, ancs, descs), index.MergeJoinRUID(n, ancs, descs))
-			equalIDs(t, "UpwardSemiJoin", e.UpwardSemiJoin(n, ancs, descs), index.UpwardSemiJoinRUID(n, ancs, descs))
-			equalIDs(t, "ParentSemiJoin", e.ParentSemiJoin(n, ancs, descs), index.ParentSemiJoinRUID(n, ancs, descs))
-			equalIDs(t, "AncestorSemiJoin", e.AncestorSemiJoin(n, ancs, descs), index.AncestorSemiJoinRUID(n, ancs, descs))
-			equalIDs(t, "ChildSemiJoin", e.ChildSemiJoin(n, ancs, descs), index.ChildSemiJoinRUID(n, ancs, descs))
+		wantUpward := index.UpwardJoinRUID(n, ancs, descs)
+		wantMerge := index.MergeJoinRUID(n, ancs, descs)
+		wantUpSemi := index.UpwardSemiJoinRUID(n, ancs, descs)
+		wantParent := index.ParentSemiJoinRUID(n, ancs, descs)
+		wantAnc := index.AncestorSemiJoinRUID(n, ancs, descs)
+		wantChild := index.ChildSemiJoinRUID(n, ancs, descs)
+		for aKind, aView := range views(ancs) {
+			for dKind, dView := range views(descs) {
+				tag := "/" + aKind + "-" + dKind
+				for _, workers := range []int{1, 2, 3, 8} {
+					e := exec.New(exec.Config{Mode: exec.Forced, Workers: workers})
+					equalPairs(t, "UpwardJoin"+tag, e.UpwardJoin(n, aView, dView), wantUpward)
+					equalPairs(t, "MergeJoin"+tag, e.MergeJoin(n, aView, dView), wantMerge)
+					equalIDs(t, "UpwardSemiJoin"+tag, e.UpwardSemiJoin(n, aView, dView), wantUpSemi)
+					equalIDs(t, "ParentSemiJoin"+tag, e.ParentSemiJoin(n, aView, dView), wantParent)
+					equalIDs(t, "AncestorSemiJoin"+tag, e.AncestorSemiJoin(n, aView, dView), wantAnc)
+					equalIDs(t, "ChildSemiJoin"+tag, e.ChildSemiJoin(n, aView, dView), wantChild)
+				}
+			}
 		}
+	}
+}
+
+// TestIndexPostingsAgree drives the executor with the index's own resident
+// block-compressed lists (not rebuilt ones) against the flat oracle.
+func TestIndexPostingsAgree(t *testing.T) {
+	n, ix := buildFixture(t, 9)
+	ancs, descs := ix.RuidIDs("section"), ix.RuidIDs("title")
+	ancsP, descsP := ix.Postings("section"), ix.Postings("title")
+	for _, workers := range []int{1, 4} {
+		e := exec.New(exec.Config{Mode: exec.Forced, Workers: workers})
+		equalPairs(t, "MergeJoin", e.MergeJoin(n, ancsP, descsP), index.MergeJoinRUID(n, ancs, descs))
+		equalPairs(t, "UpwardJoin", e.UpwardJoin(n, ancsP, descsP), index.UpwardJoinRUID(n, ancs, descs))
+		equalIDs(t, "UpwardSemiJoin", e.UpwardSemiJoin(n, ancsP, descsP), index.UpwardSemiJoinRUID(n, ancs, descs))
+		equalIDs(t, "ChildSemiJoin", e.ChildSemiJoin(n, ancsP, descsP), index.ChildSemiJoinRUID(n, ancs, descs))
 	}
 }
 
 // TestParallelNestedJoin pins the merge-join shard seeding on a deeply
 // nested ancestor list: sections nested under sections, where shard
 // boundaries land mid-subtree and the start stack must carry several open
-// ancestors across.
+// ancestors across. Block-backed descendants additionally exercise the
+// per-run re-seeding inside AppendMergeJoinBlocks.
 func TestParallelNestedJoin(t *testing.T) {
 	n, ix := buildFixture(t, 9)
 	secs := ix.RuidIDs("section")
-	for _, workers := range []int{2, 5, 16} {
-		e := exec.New(exec.Config{Mode: exec.Forced, Workers: workers})
-		equalPairs(t, "MergeJoin(section,section)",
-			e.MergeJoin(n, secs, secs), index.MergeJoinRUID(n, secs, secs))
-		equalPairs(t, "UpwardJoin(section,section)",
-			e.UpwardJoin(n, secs, secs), index.UpwardJoinRUID(n, secs, secs))
+	want := index.MergeJoinRUID(n, secs, secs)
+	wantUp := index.UpwardJoinRUID(n, secs, secs)
+	for kind, view := range views(secs) {
+		for _, workers := range []int{2, 5, 16} {
+			e := exec.New(exec.Config{Mode: exec.Forced, Workers: workers})
+			equalPairs(t, "MergeJoin(section,section)/"+kind,
+				e.MergeJoin(n, view, view), want)
+			equalPairs(t, "UpwardJoin(section,section)/"+kind,
+				e.UpwardJoin(n, view, view), wantUp)
+		}
 	}
 }
 
@@ -116,8 +160,9 @@ func TestPathQueryParallel(t *testing.T) {
 	}
 }
 
-// TestEmptyAndTinyInputs drives the degenerate shapes through every mode:
-// empty sides, single elements, fewer items than workers.
+// TestEmptyAndTinyInputs drives the degenerate shapes through every mode
+// and both input views: empty sides, single elements, fewer items than
+// workers (and fewer blocks than workers).
 func TestEmptyAndTinyInputs(t *testing.T) {
 	n, ix := buildFixture(t, 5)
 	titles := ix.RuidIDs("title")
@@ -126,16 +171,25 @@ func TestEmptyAndTinyInputs(t *testing.T) {
 		{Mode: exec.Forced, Workers: 8},
 	} {
 		e := exec.New(cfg)
-		if got := e.UpwardJoin(n, nil, titles); len(got) != 0 {
-			t.Fatalf("empty ancs: got %d pairs", len(got))
-		}
-		if got := e.MergeJoin(n, titles, nil); len(got) != 0 {
-			t.Fatalf("empty descs: got %d pairs", len(got))
+		for kind, view := range views(titles) {
+			if got := e.UpwardJoin(n, index.SlicePostings(nil), view); len(got) != 0 {
+				t.Fatalf("%s empty ancs: got %d pairs", kind, len(got))
+			}
+			if got := e.MergeJoin(n, view, index.SlicePostings(nil)); len(got) != 0 {
+				t.Fatalf("%s empty descs: got %d pairs", kind, len(got))
+			}
+			if got := e.MergeJoin(n, view, index.BlockPostings(nil)); len(got) != 0 {
+				t.Fatalf("%s empty block descs: got %d pairs", kind, len(got))
+			}
 		}
 		one := titles[:1]
-		equalPairs(t, "single", e.MergeJoin(n, one, one), index.MergeJoinRUID(n, one, one))
+		for _, oneView := range views(one) {
+			equalPairs(t, "single", e.MergeJoin(n, oneView, oneView), index.MergeJoinRUID(n, one, one))
+		}
 		small := titles[:min(3, len(titles))]
-		equalIDs(t, "tiny", e.UpwardSemiJoin(n, small, small), index.UpwardSemiJoinRUID(n, small, small))
+		for _, smallView := range views(small) {
+			equalIDs(t, "tiny", e.UpwardSemiJoin(n, smallView, smallView), index.UpwardSemiJoinRUID(n, small, small))
+		}
 	}
 }
 
@@ -146,6 +200,7 @@ func TestDefaultExecutor(t *testing.T) {
 		t.Fatalf("default executor %+v", e)
 	}
 	n, ix := buildFixture(t, 7)
-	ancs, descs := ix.RuidIDs("section"), ix.RuidIDs("title")
-	equalPairs(t, "default", e.UpwardJoin(n, ancs, descs), index.UpwardJoinRUID(n, ancs, descs))
+	equalPairs(t, "default",
+		e.UpwardJoin(n, ix.Postings("section"), ix.Postings("title")),
+		index.UpwardJoinRUID(n, ix.RuidIDs("section"), ix.RuidIDs("title")))
 }

@@ -7,53 +7,88 @@ import (
 	"repro/internal/index"
 )
 
-// The parallel forms of the structural joins. Each one shards the
-// descendant posting list by frame area (shardRanges), runs the matching
-// index kernel per shard against one shared read-only probe set, and
-// concatenates shard outputs in shard order — which is document order,
+// The parallel forms of the structural joins, over index.Postings views.
+// Block-compressed descendants are sharded by block boundaries
+// (shardBlocks) so every worker gets whole blocks and the same skip-table
+// galloping the serial kernels use; slice-backed descendants (intermediate
+// pipeline results) are sharded by frame area (shardRanges) as before. Each
+// shard runs the matching index kernel against one shared read-only probe,
+// and shard outputs concatenate in shard order — which is document order,
 // because the inputs are document-ordered and every kernel preserves input
-// order. Below the crossover (or in Serial mode) each delegates to the
-// one-shot index fast path unchanged, so P=1 costs one extra call frame.
+// order. Below the crossover (or in Serial mode) each operation delegates
+// to the one-shot index.*Postings form, so P=1 costs one extra call frame.
 
-// UpwardJoin is index.UpwardJoinRUID sharded over descs: every pair (a, d)
-// with a ∈ ancs a proper ancestor of d ∈ descs, in document order of the
-// descendant.
-func (e *Executor) UpwardJoin(n *core.Numbering, ancs, descs []core.ID) []index.PairID {
-	p := e.workersFor(len(ancs) + len(descs))
+// UpwardJoin is index.UpwardJoinPostings sharded over descs: every pair
+// (a, d) with a ∈ ancs a proper ancestor of d ∈ descs, in document order of
+// the descendant.
+func (e *Executor) UpwardJoin(n *core.Numbering, ancs, descs index.Postings) []index.PairID {
+	p := e.workersFor(ancs.Len() + descs.Len())
+	if pl := descs.List(); pl != nil {
+		if p <= 1 || pl.NumBlocks() <= 1 {
+			return index.UpwardJoinPostings(n, ancs, descs)
+		}
+		pr := index.MakeProbe(ancs)
+		return gatherPairs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []index.PairID) []index.PairID {
+			bs := getBlockScratch()
+			buf = index.AppendUpwardJoinBlocks(n, pr, pl, r[0], r[1], bs, buf)
+			putBlockScratch(bs)
+			return buf
+		})
+	}
 	if p <= 1 {
-		return index.UpwardJoinRUID(n, ancs, descs)
+		return index.UpwardJoinPostings(n, ancs, descs)
 	}
-	ranges := shardRanges(descs, p)
+	ids := descs.Slice()
+	ranges := shardRanges(ids, p)
 	if len(ranges) <= 1 {
-		return index.UpwardJoinRUID(n, ancs, descs)
+		return index.UpwardJoinPostings(n, ancs, descs)
 	}
-	set := index.MakeIDSet(ancs)
+	pr := index.MakeProbe(ancs)
 	return gatherPairs(e, ranges, func(r [2]int, buf []index.PairID) []index.PairID {
-		return index.AppendUpwardJoinRUID(n, set, descs[r[0]:r[1]], buf)
+		return index.AppendUpwardJoinRUID(n, pr.Set, ids[r[0]:r[1]], buf)
 	})
 }
 
-// MergeJoin is index.MergeJoinRUID sharded over descs. Each shard seeds the
-// open-ancestor stack with the ancs members lying on its first descendant's
-// ancestor chain (outermost first) — exactly the serial algorithm's stack
-// state at that descendant — and starts candidate admission at the first
-// ancestor not ordered before that descendant, found by binary search. No
-// state crosses shard boundaries, so the concatenated output is identical
-// to the serial one.
-func (e *Executor) MergeJoin(n *core.Numbering, ancs, descs []core.ID) []index.PairID {
-	p := e.workersFor(len(ancs) + len(descs))
+// MergeJoin is index.MergeJoinPostings sharded over descs. Each shard (and,
+// inside a shard, each decoded candidate run) seeds the open-ancestor stack
+// with the ancs members lying on its first descendant's ancestor chain
+// (outermost first) — exactly the serial algorithm's stack state at that
+// descendant — and starts candidate admission at the first ancestor not
+// ordered before that descendant, found by binary search. No state crosses
+// shard boundaries, so the concatenated output is identical to the serial
+// one. The ancestor side is materialized either way: the merge kernel walks
+// it sequentially.
+func (e *Executor) MergeJoin(n *core.Numbering, ancs, descs index.Postings) []index.PairID {
+	p := e.workersFor(ancs.Len() + descs.Len())
+	if pl := descs.List(); pl != nil {
+		if p <= 1 || pl.NumBlocks() <= 1 {
+			return index.MergeJoinPostings(n, ancs, descs)
+		}
+		ancIDs := ancs.Materialize()
+		pr := index.MakeProbe(index.SlicePostings(ancIDs))
+		return gatherPairs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []index.PairID) []index.PairID {
+			sc := mergeScratchPool.Get().(*index.MergeScratch)
+			bs := getBlockScratch()
+			buf = index.AppendMergeJoinBlocks(n, ancIDs, pr, pl, r[0], r[1], sc, bs, buf)
+			putBlockScratch(bs)
+			mergeScratchPool.Put(sc)
+			return buf
+		})
+	}
 	if p <= 1 {
-		return index.MergeJoinRUID(n, ancs, descs)
+		return index.MergeJoinPostings(n, ancs, descs)
 	}
-	ranges := shardRanges(descs, p)
+	descIDs := descs.Slice()
+	ranges := shardRanges(descIDs, p)
 	if len(ranges) <= 1 {
-		return index.MergeJoinRUID(n, ancs, descs)
+		return index.MergeJoinPostings(n, ancs, descs)
 	}
-	ancSet := index.MakeIDSet(ancs)
+	ancIDs := ancs.Materialize()
+	ancSet := index.MakeIDSet(ancIDs)
 	return gatherPairs(e, ranges, func(r [2]int, buf []index.PairID) []index.PairID {
-		d0 := descs[r[0]]
-		start := sort.Search(len(ancs), func(j int) bool {
-			return n.CompareOrderID(ancs[j], d0) >= 0
+		d0 := descIDs[r[0]]
+		start := sort.Search(len(ancIDs), func(j int) bool {
+			return n.CompareOrderID(ancIDs[j], d0) >= 0
 		})
 		sc := mergeScratchPool.Get().(*index.MergeScratch)
 		chainBuf, seedBuf := getIDBuf(), getIDBuf()
@@ -66,7 +101,7 @@ func (e *Executor) MergeJoin(n *core.Numbering, ancs, descs []core.ID) []index.P
 				seed = append(seed, chain[j])
 			}
 		}
-		buf = index.AppendMergeJoinRUID(n, ancs[start:], descs[r[0]:r[1]], seed, sc, buf)
+		buf = index.AppendMergeJoinRUID(n, ancIDs[start:], descIDs[r[0]:r[1]], seed, sc, buf)
 		*chainBuf, *seedBuf = chain, seed
 		putIDBuf(chainBuf)
 		putIDBuf(seedBuf)
@@ -75,83 +110,133 @@ func (e *Executor) MergeJoin(n *core.Numbering, ancs, descs []core.ID) []index.P
 	})
 }
 
-// UpwardSemiJoin is index.UpwardSemiJoinRUID sharded over descs: the
+// UpwardSemiJoin is index.UpwardSemiJoinPostings sharded over descs: the
 // members of descs having at least one proper ancestor in ancs, in input
 // order.
-func (e *Executor) UpwardSemiJoin(n *core.Numbering, ancs, descs []core.ID) []core.ID {
-	p := e.workersFor(len(ancs) + len(descs))
+func (e *Executor) UpwardSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
+	p := e.workersFor(ancs.Len() + descs.Len())
+	if pl := descs.List(); pl != nil {
+		if p <= 1 || pl.NumBlocks() <= 1 {
+			return index.UpwardSemiJoinPostings(n, ancs, descs)
+		}
+		pr := index.MakeProbe(ancs)
+		return gatherIDs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []core.ID) []core.ID {
+			bs := getBlockScratch()
+			buf = index.AppendUpwardSemiJoinBlocks(n, pr, pl, r[0], r[1], bs, buf)
+			putBlockScratch(bs)
+			return buf
+		})
+	}
 	if p <= 1 {
-		return index.UpwardSemiJoinRUID(n, ancs, descs)
+		return index.UpwardSemiJoinPostings(n, ancs, descs)
 	}
-	ranges := shardRanges(descs, p)
+	ids := descs.Slice()
+	ranges := shardRanges(ids, p)
 	if len(ranges) <= 1 {
-		return index.UpwardSemiJoinRUID(n, ancs, descs)
+		return index.UpwardSemiJoinPostings(n, ancs, descs)
 	}
-	set := index.MakeIDSet(ancs)
+	pr := index.MakeProbe(ancs)
 	return gatherIDs(e, ranges, func(r [2]int, buf []core.ID) []core.ID {
-		return index.AppendUpwardSemiJoinRUID(n, set, descs[r[0]:r[1]], buf)
+		return index.AppendUpwardSemiJoinRUID(n, pr.Set, ids[r[0]:r[1]], buf)
 	})
 }
 
-// ParentSemiJoin is index.ParentSemiJoinRUID sharded over descs: the
+// ParentSemiJoin is index.ParentSemiJoinPostings sharded over descs: the
 // members of descs whose direct parent is in ancs, in input order.
-func (e *Executor) ParentSemiJoin(n *core.Numbering, ancs, descs []core.ID) []core.ID {
-	p := e.workersFor(len(ancs) + len(descs))
+func (e *Executor) ParentSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
+	p := e.workersFor(ancs.Len() + descs.Len())
+	if pl := descs.List(); pl != nil {
+		if p <= 1 || pl.NumBlocks() <= 1 {
+			return index.ParentSemiJoinPostings(n, ancs, descs)
+		}
+		pr := index.MakeProbe(ancs)
+		return gatherIDs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []core.ID) []core.ID {
+			bs := getBlockScratch()
+			buf = index.AppendParentSemiJoinBlocks(n, pr, pl, r[0], r[1], bs, buf)
+			putBlockScratch(bs)
+			return buf
+		})
+	}
 	if p <= 1 {
-		return index.ParentSemiJoinRUID(n, ancs, descs)
+		return index.ParentSemiJoinPostings(n, ancs, descs)
 	}
-	ranges := shardRanges(descs, p)
+	ids := descs.Slice()
+	ranges := shardRanges(ids, p)
 	if len(ranges) <= 1 {
-		return index.ParentSemiJoinRUID(n, ancs, descs)
+		return index.ParentSemiJoinPostings(n, ancs, descs)
 	}
-	set := index.MakeIDSet(ancs)
+	pr := index.MakeProbe(ancs)
 	return gatherIDs(e, ranges, func(r [2]int, buf []core.ID) []core.ID {
-		return index.AppendParentSemiJoinRUID(n, set, descs[r[0]:r[1]], buf)
+		return index.AppendParentSemiJoinRUID(n, pr.Set, ids[r[0]:r[1]], buf)
 	})
 }
 
-// AncestorSemiJoin is index.AncestorSemiJoinRUID with the probing half
+// AncestorSemiJoin is index.AncestorSemiJoinPostings with the probing half
 // sharded over descs: the members of ancs having at least one proper
 // descendant in descs, in ancs order. Shards accumulate private hit sets;
 // the union is filtered through ancs serially, which restores order without
 // a sort.
-func (e *Executor) AncestorSemiJoin(n *core.Numbering, ancs, descs []core.ID) []core.ID {
-	return e.hitSemiJoin(ancs, descs, func(set index.IDSet, run []core.ID, hit index.IDSet) {
-		index.CollectAncestorHitsRUID(n, set, run, hit)
-	}, func(set index.IDSet) []core.ID {
-		return index.AncestorSemiJoinRUID(n, ancs, descs)
-	})
+func (e *Executor) AncestorSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
+	return e.hitSemiJoin(ancs, descs,
+		func() []core.ID { return index.AncestorSemiJoinPostings(n, ancs, descs) },
+		func(pr *index.Probe, run []core.ID, hit index.IDSet) {
+			index.CollectAncestorHitsRUID(n, pr.Set, run, hit)
+		},
+		func(pr *index.Probe, pl *index.PostingList, lo, hi int, bs *index.BlockScratch, hit index.IDSet) {
+			index.CollectAncestorHitsBlocks(n, pr, pl, lo, hi, bs, hit)
+		})
 }
 
-// ChildSemiJoin is index.ChildSemiJoinRUID with the probing half sharded
-// over descs: the members of ancs having at least one direct child in
-// descs, in ancs order.
-func (e *Executor) ChildSemiJoin(n *core.Numbering, ancs, descs []core.ID) []core.ID {
-	return e.hitSemiJoin(ancs, descs, func(set index.IDSet, run []core.ID, hit index.IDSet) {
-		index.CollectChildHitsRUID(n, set, run, hit)
-	}, func(index.IDSet) []core.ID {
-		return index.ChildSemiJoinRUID(n, ancs, descs)
-	})
+// ChildSemiJoin is index.ChildSemiJoinPostings with the probing half
+// sharded over descs: the members of ancs having at least one direct child
+// in descs, in ancs order.
+func (e *Executor) ChildSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
+	return e.hitSemiJoin(ancs, descs,
+		func() []core.ID { return index.ChildSemiJoinPostings(n, ancs, descs) },
+		func(pr *index.Probe, run []core.ID, hit index.IDSet) {
+			index.CollectChildHitsRUID(n, pr.Set, run, hit)
+		},
+		func(pr *index.Probe, pl *index.PostingList, lo, hi int, bs *index.BlockScratch, hit index.IDSet) {
+			index.CollectChildHitsBlocks(n, pr, pl, lo, hi, bs, hit)
+		})
 }
 
 func (e *Executor) hitSemiJoin(
-	ancs, descs []core.ID,
-	collect func(set index.IDSet, run []core.ID, hit index.IDSet),
-	serial func(index.IDSet) []core.ID,
+	ancs, descs index.Postings,
+	serial func() []core.ID,
+	collectRun func(pr *index.Probe, run []core.ID, hit index.IDSet),
+	collectBlocks func(pr *index.Probe, pl *index.PostingList, lo, hi int, bs *index.BlockScratch, hit index.IDSet),
 ) []core.ID {
-	p := e.workersFor(len(ancs) + len(descs))
+	p := e.workersFor(ancs.Len() + descs.Len())
 	if p <= 1 {
-		return serial(nil)
+		return serial()
 	}
-	ranges := shardRanges(descs, p)
-	if len(ranges) <= 1 {
-		return serial(nil)
+	var ranges [][2]int
+	var descIDs []core.ID
+	pl := descs.List()
+	if pl != nil {
+		if pl.NumBlocks() <= 1 {
+			return serial()
+		}
+		ranges = shardBlocks(pl.NumBlocks(), p)
+	} else {
+		descIDs = descs.Slice()
+		ranges = shardRanges(descIDs, p)
+		if len(ranges) <= 1 {
+			return serial()
+		}
 	}
-	set := index.MakeIDSet(ancs)
+	pr := index.MakeProbe(ancs)
 	hits := make([]index.IDSet, len(ranges))
 	e.run(len(ranges), func(s int) {
 		hit := getHitSet()
-		collect(set, descs[ranges[s][0]:ranges[s][1]], hit)
+		if pl != nil {
+			bs := getBlockScratch()
+			collectBlocks(pr, pl, ranges[s][0], ranges[s][1], bs, hit)
+			putBlockScratch(bs)
+		} else {
+			collectRun(pr, descIDs[ranges[s][0]:ranges[s][1]], hit)
+		}
 		hits[s] = hit
 	})
 	union := hits[0]
@@ -160,7 +245,7 @@ func (e *Executor) hitSemiJoin(
 			union[id] = struct{}{}
 		}
 	}
-	out := index.AppendHitMembersRUID(ancs, union, make([]core.ID, 0, len(union)))
+	out := index.AppendHitMembersPostings(ancs, union, make([]core.ID, 0, len(union)))
 	for _, h := range hits {
 		putHitSet(h)
 	}
@@ -169,21 +254,26 @@ func (e *Executor) hitSemiJoin(
 
 // PathQuery is NameIndex.PathQueryRUID with every step's semi-join run
 // through the executor: postings of names[0] filtered down the path by
-// parallel upward semi-joins. Returns nil for non-ruid indexes, like the
-// serial form.
+// parallel upward semi-joins. The index's block-compressed postings are
+// consumed as Postings views, so each step decodes only candidate blocks.
+// Returns nil for non-ruid indexes, like the serial form.
 func (e *Executor) PathQuery(ix *index.NameIndex, names ...string) []core.ID {
 	n := ix.RUID()
 	if n == nil || len(names) == 0 {
 		return nil
 	}
-	cur := ix.RuidIDs(names[0])
+	cur := ix.Postings(names[0])
+	if cur.Len() == 0 {
+		return nil
+	}
 	for step := 1; step < len(names); step++ {
-		cur = e.UpwardSemiJoin(n, cur, ix.RuidIDs(names[step]))
-		if len(cur) == 0 {
+		next := e.UpwardSemiJoin(n, cur, ix.Postings(names[step]))
+		if len(next) == 0 {
 			return nil
 		}
+		cur = index.SlicePostings(next)
 	}
-	return cur
+	return cur.Materialize()
 }
 
 // gatherPairs runs kernel over every range concurrently into pooled

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"sync/atomic"
+
+	"repro/internal/core"
 )
 
 // Document-order sortedness is a maintained invariant of NameIndex
@@ -33,20 +35,46 @@ func SetDebugChecks(on bool) bool {
 	return debugChecks.Swap(on)
 }
 
-// CheckSorted verifies that every posting list is strictly ascending in
-// document order (which implies no duplicates). It returns nil for generic
-// (boxed) indexes, whose postings inherit walk order from Build and are
-// never patched.
+// CheckSorted verifies the postings invariant at block granularity: every
+// posting list is strictly ascending in document order (which implies no
+// duplicates), every block's Skip entry agrees with its decoded contents
+// (First/Last identifiers, Global window, entry count) and the block byte
+// ranges tile the data exactly. It returns nil for generic (boxed) indexes,
+// whose postings inherit walk order from Build and are never patched.
 func (ix *NameIndex) CheckSorted() error {
 	if ix.ruid == nil {
 		return nil
 	}
-	for name, ps := range ix.ruidByName {
-		for i := 1; i < len(ps); i++ {
-			if ix.ruid.CompareOrderID(ps[i-1], ps[i]) >= 0 {
-				return fmt.Errorf("index: postings for %q out of document order at %d: %v !< %v",
-					name, i, ps[i-1], ps[i])
+	for name, pl := range ix.ruidByName {
+		if err := checkPostingList(ix.ruid, name, pl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkPostingList validates one list's block structure and document order.
+func checkPostingList(rn *core.Numbering, name string, pl *PostingList) error {
+	if pl.Len() == 0 {
+		return fmt.Errorf("index: empty posting list stored for %q", name)
+	}
+	// Re-running the structural validation on our own parts catches a
+	// builder bug (or in-place mutation) the same way it catches a corrupt
+	// snapshot on load.
+	if _, err := PostingListFromParts(pl.data, pl.skips, pl.n); err != nil {
+		return fmt.Errorf("index: postings for %q: %w", name, err)
+	}
+	var prev core.ID
+	first := true
+	var buf [BlockSize]core.ID
+	for b := 0; b < pl.NumBlocks(); b++ {
+		for _, id := range pl.AppendBlock(b, buf[:0]) {
+			if !first && rn.CompareOrderID(prev, id) >= 0 {
+				return fmt.Errorf("index: postings for %q out of document order: %v !< %v",
+					name, prev, id)
 			}
+			prev = id
+			first = false
 		}
 	}
 	return nil

@@ -19,10 +19,12 @@ var ErrNotRUID = errors.New("index: ApplyDelta requires a ruid-backed index")
 
 // ApplyDelta returns the next epoch's index: for every name in relabeled /
 // removed / inserted, a fresh posting list is derived from the previous one
-// (identifiers substituted in place, removed entries dropped, and the
-// inserted run — one subtree's elements, contiguous in document order —
-// spliced at its position); every other name shares its posting slice with
-// the receiver. rn becomes the new index's numbering and is used for the
+// (the blocks are decoded, identifiers substituted in place, removed
+// entries dropped, the inserted run — one subtree's elements, contiguous in
+// document order — spliced at its position, and the result re-encoded into
+// fresh blocks); every other name shares its *PostingList with the
+// receiver, so the block-granularity cost of an update is bounded by the
+// touched names. rn becomes the new index's numbering and is used for the
 // document-order comparisons of the splice; it must be the next epoch's
 // (or the master's post-update) numbering.
 func (ix *NameIndex) ApplyDelta(
@@ -34,9 +36,9 @@ func (ix *NameIndex) ApplyDelta(
 	if ix.ruid == nil {
 		return nil, ErrNotRUID
 	}
-	out := &NameIndex{s: rn, ruid: rn, ruidByName: make(map[string][]core.ID, len(ix.ruidByName))}
-	for name, ps := range ix.ruidByName {
-		out.ruidByName[name] = ps
+	out := &NameIndex{s: rn, ruid: rn, ruidByName: make(map[string]*PostingList, len(ix.ruidByName))}
+	for name, pl := range ix.ruidByName {
+		out.ruidByName[name] = pl
 	}
 	touched := make(map[string]bool, len(relabeled)+len(removed)+len(inserted))
 	for name := range relabeled {
@@ -53,16 +55,19 @@ func (ix *NameIndex) ApplyDelta(
 		rl := relabeled[name]
 		rm := removed[name]
 		ins := inserted[name]
-		list := make([]core.ID, 0, len(old)+len(ins))
-		for _, id := range old {
+		list := make([]core.ID, 0, old.Len()+len(ins))
+		list = old.AppendAll(list)
+		kept := list[:0]
+		for _, id := range list {
 			if rm[id] {
 				continue
 			}
 			if nid, ok := rl[id]; ok {
 				id = nid
 			}
-			list = append(list, id)
+			kept = append(kept, id)
 		}
+		list = kept
 		if len(ins) > 0 {
 			// Relabeling within one area preserves relative document order,
 			// so the surviving list is still sorted and the contiguous
@@ -77,7 +82,7 @@ func (ix *NameIndex) ApplyDelta(
 		if len(list) == 0 {
 			delete(out.ruidByName, name)
 		} else {
-			out.ruidByName[name] = list
+			out.ruidByName[name] = BuildPostingList(list)
 		}
 	}
 	out.assertSorted("ApplyDelta")

@@ -1,0 +1,10 @@
+package index
+
+import "repro/internal/core"
+
+// MayContribute exposes the block skip test so the soundness test can
+// check rejected blocks by brute force.
+func (pr *Probe) MayContribute(n *core.Numbering, sk *Skip) bool {
+	var chain []core.ID
+	return pr.mayContribute(n, sk, &chain)
+}

@@ -37,15 +37,16 @@ import (
 // parallel shard merge all rely on it.
 //
 // When the index is built over the concrete ruid numbering
-// (*core.Numbering), postings are stored unboxed as []core.ID and the join
-// code takes the allocation-free fast path; for every other scheme the
-// boxed scheme.ID representation is kept.
+// (*core.Numbering), postings are stored block-compressed (*PostingList,
+// see postings.go) and the join code takes the allocation-free seek-based
+// fast path; for every other scheme the boxed scheme.ID representation is
+// kept.
 type NameIndex struct {
 	s      scheme.Scheme
 	byName map[string][]scheme.ID // generic postings (nil when ruid is set)
 
-	ruid       *core.Numbering      // non-nil: concrete fast path active
-	ruidByName map[string][]core.ID // unboxed postings, document order
+	ruid       *core.Numbering         // non-nil: concrete fast path active
+	ruidByName map[string]*PostingList // block-compressed postings, document order
 }
 
 // Build indexes every element of the snapshot rooted at root under scheme s.
@@ -54,16 +55,25 @@ func Build(root *xmltree.Node, s scheme.Scheme) *NameIndex {
 	// Walk order is document order already; keep lists as built.
 	if rn, ok := s.(*core.Numbering); ok {
 		ix.ruid = rn
-		ix.ruidByName = make(map[string][]core.ID)
+		builders := make(map[string]*PostingBuilder)
 		root.Walk(func(x *xmltree.Node) bool {
 			if x.Kind != xmltree.Element {
 				return true
 			}
 			if id, ok := rn.RUID(x); ok {
-				ix.ruidByName[x.Name] = append(ix.ruidByName[x.Name], id)
+				b := builders[x.Name]
+				if b == nil {
+					b = &PostingBuilder{}
+					builders[x.Name] = b
+				}
+				b.Append(id)
 			}
 			return true
 		})
+		ix.ruidByName = make(map[string]*PostingList, len(builders))
+		for name, b := range builders {
+			ix.ruidByName[name] = b.Finish()
+		}
 		ix.assertSorted("Build")
 		return ix
 	}
@@ -85,8 +95,26 @@ func (ix *NameIndex) Scheme() scheme.Scheme { return ix.s }
 
 // RUID returns the concrete ruid numbering the index was built over, or
 // nil if the index uses the generic boxed representation. A non-nil result
-// means RuidIDs and the *RUID join functions are usable.
+// means Postings, RuidIDs and the *RUID join functions are usable.
 func (ix *NameIndex) RUID() *core.Numbering { return ix.ruid }
+
+// FromPostingLists assembles a ruid-backed index from prebuilt posting
+// lists — the storage load path. Every list is verified to be in strict
+// document order under rn, so a corrupt or mismatched snapshot is an error
+// here rather than wrong query results later.
+func FromPostingLists(rn *core.Numbering, lists map[string]*PostingList) (*NameIndex, error) {
+	ix := &NameIndex{s: rn, ruid: rn, ruidByName: make(map[string]*PostingList, len(lists))}
+	for name, pl := range lists {
+		if pl.Len() == 0 {
+			continue
+		}
+		ix.ruidByName[name] = pl
+	}
+	if err := ix.CheckSorted(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
 
 // Names returns the indexed element names, sorted.
 func (ix *NameIndex) Names() []string {
@@ -103,17 +131,21 @@ func (ix *NameIndex) Names() []string {
 
 // IDs returns the identifiers of elements named name, in document order.
 // The returned slice is a fresh copy: callers may keep or modify it freely
-// without corrupting the index. Join pipelines that want the no-copy
-// internal postings use RuidIDs (ruid-backed indexes) instead.
+// without corrupting the index. On a ruid-backed index this decodes (and
+// boxes) the whole block-compressed list — O(Count(name)); pipelines that
+// only probe or seek should use Postings instead.
 func (ix *NameIndex) IDs(name string) []scheme.ID {
 	if ix.ruid != nil {
-		ps := ix.ruidByName[name]
-		if len(ps) == 0 {
+		pl := ix.ruidByName[name]
+		if pl.Len() == 0 {
 			return nil
 		}
-		out := make([]scheme.ID, len(ps))
-		for i, id := range ps {
-			out[i] = id
+		var buf [BlockSize]core.ID
+		out := make([]scheme.ID, 0, pl.Len())
+		for b := 0; b < pl.NumBlocks(); b++ {
+			for _, id := range pl.AppendBlock(b, buf[:0]) {
+				out = append(out, id)
+			}
 		}
 		return out
 	}
@@ -125,23 +157,64 @@ func (ix *NameIndex) IDs(name string) []scheme.ID {
 }
 
 // RuidIDs returns the unboxed postings of elements named name, in document
-// order, for a ruid-backed index (nil otherwise). The returned slice is
-// shared with the index and MUST be treated as read-only — this is the
-// internal no-copy path for the join code; external callers should prefer
-// IDs.
+// order, for a ruid-backed index (nil otherwise). The postings are stored
+// block-compressed, so this MATERIALIZES a fresh O(Count(name)) slice on
+// every call — it is the compatibility path for callers that genuinely
+// need a flat slice. Join pipelines, semi-joins and twig matching should
+// take Postings(name), which seeks through the skip table and never builds
+// the slice.
 func (ix *NameIndex) RuidIDs(name string) []core.ID {
 	if ix.ruid == nil {
 		return nil
 	}
-	return ix.ruidByName[name]
+	pl := ix.ruidByName[name]
+	if pl.Len() == 0 {
+		return nil
+	}
+	return pl.AppendAll(make([]core.ID, 0, pl.Len()))
+}
+
+// Postings returns the block-compressed postings view of elements named
+// name for a ruid-backed index (the zero view otherwise): the no-copy,
+// no-decode path for the seek-based join kernels. The view is shared with
+// the index and read-only.
+func (ix *NameIndex) Postings(name string) Postings {
+	if ix.ruid == nil {
+		return Postings{}
+	}
+	return BlockPostings(ix.ruidByName[name])
 }
 
 // Count returns the number of elements named name.
 func (ix *NameIndex) Count(name string) int {
 	if ix.ruid != nil {
-		return len(ix.ruidByName[name])
+		return ix.ruidByName[name].Len()
 	}
 	return len(ix.byName[name])
+}
+
+// PostingsSizeBytes returns the resident size of all posting lists of a
+// ruid-backed index (compressed delta bytes plus skip tables), and 0 for a
+// generic index. PostingsSizeBytes / PostingsCount is the bytes-per-posting
+// metric ruidbench tracks.
+func (ix *NameIndex) PostingsSizeBytes() int {
+	total := 0
+	for _, pl := range ix.ruidByName {
+		total += pl.SizeBytes()
+	}
+	return total
+}
+
+// PostingsCount returns the total number of postings across all names.
+func (ix *NameIndex) PostingsCount() int {
+	total := 0
+	for _, pl := range ix.ruidByName {
+		total += pl.Len()
+	}
+	for _, ps := range ix.byName {
+		total += len(ps)
+	}
+	return total
 }
 
 // Pair is one (ancestor, descendant) join result.
@@ -287,19 +360,25 @@ func (ix *NameIndex) PathQuery(names ...string) []scheme.ID {
 
 // PathQueryRUID is the unboxed fast-path form of PathQuery for ruid-backed
 // indexes: the whole semi-join pipeline runs on concrete identifiers with
-// no interface boxing. It returns nil for non-ruid indexes.
+// no interface boxing, seeking through the block skip tables — each step's
+// descendant postings are decoded only where a block may contain a match.
+// It returns nil for non-ruid indexes.
 func (ix *NameIndex) PathQueryRUID(names ...string) []core.ID {
 	if ix.ruid == nil || len(names) == 0 {
 		return nil
 	}
-	cur := ix.RuidIDs(names[0])
+	cur := ix.Postings(names[0])
+	if cur.Len() == 0 {
+		return nil
+	}
 	for step := 1; step < len(names); step++ {
-		cur = UpwardSemiJoinRUID(ix.ruid, cur, ix.RuidIDs(names[step]))
-		if len(cur) == 0 {
+		next := UpwardSemiJoinPostings(ix.ruid, cur, ix.Postings(names[step]))
+		if len(next) == 0 {
 			return nil
 		}
+		cur = SlicePostings(next)
 	}
-	return cur
+	return cur.Materialize()
 }
 
 // ParentSemiJoin returns the descendants of descs whose *direct parent* is

@@ -1,0 +1,275 @@
+package index
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/core"
+)
+
+// Block-compressed posting lists. A PostingList holds one name's postings
+// in document order, grouped into blocks of at most BlockSize entries. A
+// block's first identifier is stored uncompressed in its Skip entry; the
+// remaining entries are delta-encoded against their predecessor with the
+// core varint codec (core.AppendIDDelta), so the common same-area step
+// costs 2 bytes instead of a resident 24-byte core.ID. The skip table is
+// what the seek-based kernels (seek.go) read: each entry carries the
+// block's first and last identifier and the range of UID-local areas
+// (Global components) present in it, so a join can decide per block —
+// without decoding — whether the block can possibly contribute and gallop
+// over the ones that cannot.
+//
+// PostingList is immutable after Finish/FromParts; epoch publication shares
+// whole lists across index versions (see delta.go).
+
+// BlockSize is the maximal number of postings per block. 128 keeps the
+// skip-table overhead under a byte per posting while leaving blocks small
+// enough that a selective join skips most of a large list.
+const BlockSize = 128
+
+// Skip is one skip-table entry describing one block.
+type Skip struct {
+	First     core.ID // first posting, stored uncompressed
+	Last      core.ID // last posting
+	MinGlobal int64   // smallest Global (UID-local area index) in the block
+	MaxGlobal int64   // largest Global in the block
+	Off       uint32  // start of the block's delta bytes in data
+	End       uint32  // end of the block's delta bytes (entries after First)
+	N         uint16  // number of postings in the block, First included
+}
+
+const skipBytes = int(unsafe.Sizeof(Skip{}))
+
+// PostingList is one name's block-compressed, document-ordered postings.
+type PostingList struct {
+	skips []Skip
+	data  []byte
+	n     int
+}
+
+// Len returns the number of postings.
+func (pl *PostingList) Len() int {
+	if pl == nil {
+		return 0
+	}
+	return pl.n
+}
+
+// NumBlocks returns the number of blocks.
+func (pl *PostingList) NumBlocks() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.skips)
+}
+
+// Skips returns the skip table, shared with the list: read-only.
+func (pl *PostingList) Skips() []Skip { return pl.skips }
+
+// Data returns the delta-encoded block bytes, shared with the list:
+// read-only. Together with Skips and Len it is the exact persisted form
+// (internal/storage writes both verbatim).
+func (pl *PostingList) Data() []byte { return pl.data }
+
+// SizeBytes returns the resident size of the compressed representation:
+// delta bytes plus the skip table. This is the numerator of the
+// bytes-per-posting metric ruidbench reports.
+func (pl *PostingList) SizeBytes() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.data) + len(pl.skips)*skipBytes
+}
+
+// AppendBlock decodes block b onto dst and returns the extended slice. The
+// list is validated at construction (Finish never emits a malformed block,
+// FromParts rejects one), so a decode failure here is memory corruption and
+// panics.
+func (pl *PostingList) AppendBlock(b int, dst []core.ID) []core.ID {
+	sk := pl.skips[b]
+	dst = append(dst, sk.First)
+	prev := sk.First
+	buf := pl.data[sk.Off:sk.End]
+	for i := 1; i < int(sk.N); i++ {
+		id, n, ok := core.DecodeIDDelta(buf, prev)
+		if !ok {
+			panic(fmt.Sprintf("index: corrupt posting block %d at entry %d", b, i))
+		}
+		dst = append(dst, id)
+		buf = buf[n:]
+		prev = id
+	}
+	return dst
+}
+
+// AppendAll decodes the whole list onto dst in document order.
+func (pl *PostingList) AppendAll(dst []core.ID) []core.ID {
+	if pl == nil {
+		return dst
+	}
+	for b := range pl.skips {
+		dst = pl.AppendBlock(b, dst)
+	}
+	return dst
+}
+
+// PostingBuilder accumulates document-ordered postings into a PostingList.
+// The zero value is ready to use; Append order must be document order (the
+// index debug assertions verify the result).
+type PostingBuilder struct {
+	pl   PostingList
+	last core.ID
+}
+
+// Append adds the next posting in document order.
+func (b *PostingBuilder) Append(id core.ID) {
+	sks := b.pl.skips
+	if len(sks) == 0 || sks[len(sks)-1].N >= BlockSize {
+		off := uint32(len(b.pl.data))
+		b.pl.skips = append(sks, Skip{
+			First: id, Last: id,
+			MinGlobal: id.Global, MaxGlobal: id.Global,
+			Off: off, End: off, N: 1,
+		})
+	} else {
+		sk := &sks[len(sks)-1]
+		b.pl.data = core.AppendIDDelta(b.pl.data, b.last, id)
+		sk.End = uint32(len(b.pl.data))
+		sk.Last = id
+		sk.N++
+		if id.Global < sk.MinGlobal {
+			sk.MinGlobal = id.Global
+		}
+		if id.Global > sk.MaxGlobal {
+			sk.MaxGlobal = id.Global
+		}
+	}
+	b.last = id
+	b.pl.n++
+}
+
+// Len returns the number of postings appended so far.
+func (b *PostingBuilder) Len() int { return b.pl.n }
+
+// Finish returns the built list, or nil when nothing was appended. The
+// builder must not be reused afterwards.
+func (b *PostingBuilder) Finish() *PostingList {
+	if b.pl.n == 0 {
+		return nil
+	}
+	pl := b.pl
+	b.pl = PostingList{}
+	return &pl
+}
+
+// BuildPostingList encodes a document-ordered slice.
+func BuildPostingList(ids []core.ID) *PostingList {
+	var b PostingBuilder
+	for _, id := range ids {
+		b.Append(id)
+	}
+	return b.Finish()
+}
+
+// PostingListFromParts reassembles a list from its persisted form and
+// structurally validates it: block byte ranges must tile data exactly,
+// every block must decode, and the skip entries must agree with the decoded
+// contents. Corrupt input returns an error, never a panic — this is the
+// storage load path. (Document-order sortedness needs the numbering and is
+// checked by index.FromPostingLists.)
+func PostingListFromParts(data []byte, skips []Skip, n int) (*PostingList, error) {
+	pl := &PostingList{skips: skips, data: data, n: n}
+	total, off := 0, uint32(0)
+	for i, sk := range skips {
+		if sk.N == 0 || int(sk.N) > BlockSize {
+			return nil, fmt.Errorf("index: block %d has %d entries (max %d)", i, sk.N, BlockSize)
+		}
+		if sk.Off != off || sk.End < sk.Off || int(sk.End) > len(data) {
+			return nil, fmt.Errorf("index: block %d bytes [%d,%d) break the tiling at %d/%d",
+				i, sk.Off, sk.End, off, len(data))
+		}
+		off = sk.End
+		total += int(sk.N)
+
+		prev := sk.First
+		minG, maxG := sk.First.Global, sk.First.Global
+		buf := data[sk.Off:sk.End]
+		for j := 1; j < int(sk.N); j++ {
+			id, m, ok := core.DecodeIDDelta(buf, prev)
+			if !ok {
+				return nil, fmt.Errorf("index: block %d entry %d does not decode", i, j)
+			}
+			buf = buf[m:]
+			prev = id
+			if id.Global < minG {
+				minG = id.Global
+			}
+			if id.Global > maxG {
+				maxG = id.Global
+			}
+		}
+		if len(buf) != 0 {
+			return nil, fmt.Errorf("index: block %d has %d trailing bytes", i, len(buf))
+		}
+		if prev != sk.Last || minG != sk.MinGlobal || maxG != sk.MaxGlobal {
+			return nil, fmt.Errorf("index: block %d skip entry disagrees with contents", i)
+		}
+	}
+	if off != uint32(len(data)) {
+		return nil, fmt.Errorf("index: %d unclaimed data bytes", uint32(len(data))-off)
+	}
+	if total != n {
+		return nil, fmt.Errorf("index: blocks hold %d postings, header says %d", total, n)
+	}
+	return pl, nil
+}
+
+// Postings is the read view join code consumes: either a block-compressed
+// *PostingList (the index's resident form) or a plain document-ordered
+// slice (intermediate pipeline results). Seek-only consumers — the
+// semi-joins, twig matching — probe blocks through the skip table and never
+// materialize the full slice; Materialize exists for the callers that do
+// need one.
+type Postings struct {
+	pl  *PostingList
+	ids []core.ID
+}
+
+// SlicePostings wraps a document-ordered slice.
+func SlicePostings(ids []core.ID) Postings { return Postings{ids: ids} }
+
+// BlockPostings wraps a block-compressed list.
+func BlockPostings(pl *PostingList) Postings { return Postings{pl: pl} }
+
+// Len returns the number of postings.
+func (p Postings) Len() int {
+	if p.pl != nil {
+		return p.pl.n
+	}
+	return len(p.ids)
+}
+
+// List returns the block-compressed list, or nil for a slice view.
+func (p Postings) List() *PostingList { return p.pl }
+
+// Slice returns the underlying slice, or nil for a block view.
+func (p Postings) Slice() []core.ID { return p.ids }
+
+// AppendAll decodes or copies every posting onto dst in document order.
+func (p Postings) AppendAll(dst []core.ID) []core.ID {
+	if p.pl != nil {
+		return p.pl.AppendAll(dst)
+	}
+	return append(dst, p.ids...)
+}
+
+// Materialize returns the postings as one document-ordered slice. A slice
+// view returns its backing slice without copying (treat it as read-only); a
+// block view decodes a fresh slice — the O(n) materialization cost the
+// seek-based kernels exist to avoid.
+func (p Postings) Materialize() []core.ID {
+	if p.pl != nil {
+		return p.pl.AppendAll(make([]core.ID, 0, p.pl.n))
+	}
+	return p.ids
+}

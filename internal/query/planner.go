@@ -325,34 +325,38 @@ func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
 }
 
 // runChainRUID executes a join pipeline entirely on concrete ruid
-// identifiers — the allocation-free counterpart of runChain.
+// identifiers — the allocation-free counterpart of runChain. The first
+// step's postings stay in their block-compressed view; every descendant
+// side of the pipeline is likewise consumed as a Postings view, so only
+// candidate blocks are ever decoded.
 func (p *Planner) runChainRUID(rn *core.Numbering, chain []step) []core.ID {
 	first := chain[0]
-	cur := p.ix.RuidIDs(first.name)
+	cur := p.ix.Postings(first.name)
 	if !first.descendant {
 		// Root-anchored /name: only the document root element qualifies.
 		root := p.doc
 		if root.Kind == xmltree.Document {
 			root = root.DocumentElement()
 		}
-		cur = nil
+		var anchored []core.ID
 		if root != nil && root.Name == first.name {
 			if id, ok := rn.RUID(root); ok {
-				cur = []core.ID{id}
+				anchored = []core.ID{id}
 			}
 		}
+		cur = index.SlicePostings(anchored)
 	}
 	for _, st := range chain[1:] {
-		if len(cur) == 0 {
+		if cur.Len() == 0 {
 			return nil
 		}
 		if st.descendant {
-			cur = p.exec.UpwardSemiJoin(rn, cur, p.ix.RuidIDs(st.name))
+			cur = index.SlicePostings(p.exec.UpwardSemiJoin(rn, cur, p.ix.Postings(st.name)))
 		} else {
-			cur = p.exec.ParentSemiJoin(rn, cur, p.ix.RuidIDs(st.name))
+			cur = index.SlicePostings(p.exec.ParentSemiJoin(rn, cur, p.ix.Postings(st.name)))
 		}
 	}
-	return cur
+	return cur.Materialize()
 }
 
 // runChain executes a join pipeline on identifiers only.

@@ -308,13 +308,23 @@ func MatchIDsWith(p *Node, ix *index.NameIndex, e *exec.Executor) ([]core.ID, bo
 	// Top-down prefix filtering along the output path.
 	cur := sat[p]
 	if p.Anchored {
+		// The document root precedes every other element in document order,
+		// so if RootID is in the (ordered) list it is the first entry — no
+		// need to decode a block-compressed list to look for it.
 		anchored := make([]core.ID, 0, 1)
-		for _, id := range cur {
-			if id == core.RootID {
-				anchored = append(anchored, id)
+		if cur.Len() > 0 {
+			first := cur.Slice()
+			var head core.ID
+			if pl := cur.List(); pl != nil {
+				head = pl.Skips()[0].First
+			} else {
+				head = first[0]
+			}
+			if head == core.RootID {
+				anchored = append(anchored, core.RootID)
 			}
 		}
-		cur = anchored
+		cur = index.SlicePostings(anchored)
 	}
 	node := p
 	for !node.Output {
@@ -328,34 +338,36 @@ func MatchIDsWith(p *Node, ix *index.NameIndex, e *exec.Executor) ([]core.ID, bo
 			return nil, true // no output node (cannot happen for compiled patterns)
 		}
 		if next.Edge == Descendant {
-			cur = e.UpwardSemiJoin(n, cur, sat[next])
+			cur = index.SlicePostings(e.UpwardSemiJoin(n, cur, sat[next]))
 		} else {
-			cur = e.ParentSemiJoin(n, cur, sat[next])
+			cur = index.SlicePostings(e.ParentSemiJoin(n, cur, sat[next]))
 		}
 		node = next
 	}
-	return cur, true
+	return cur.Materialize(), true
 }
 
 // satisfyRUID is the unboxed form of satisfy: bottom-up, the elements that
-// embed each pattern node's subtree, as concrete identifier lists. Each
+// embed each pattern node's subtree, as Postings views. A leaf's view is
+// the index's block-compressed postings untouched — a leaf that only feeds
+// a semi-join is probed through its skip table and never materialized. Each
 // semi-join runs through e.
-func satisfyRUID(p *Node, ix *index.NameIndex, n *core.Numbering, e *exec.Executor) map[*Node][]core.ID {
-	sat := make(map[*Node][]core.ID)
+func satisfyRUID(p *Node, ix *index.NameIndex, n *core.Numbering, e *exec.Executor) map[*Node]index.Postings {
+	sat := make(map[*Node]index.Postings)
 	var walk func(t *Node)
 	walk = func(t *Node) {
 		for _, c := range t.Children {
 			walk(c)
 		}
-		cur := ix.RuidIDs(t.Name)
+		cur := ix.Postings(t.Name)
 		for _, c := range t.Children {
-			if len(cur) == 0 {
+			if cur.Len() == 0 {
 				break
 			}
 			if c.Edge == Descendant {
-				cur = e.AncestorSemiJoin(n, cur, sat[c])
+				cur = index.SlicePostings(e.AncestorSemiJoin(n, cur, sat[c]))
 			} else {
-				cur = e.ChildSemiJoin(n, cur, sat[c])
+				cur = index.SlicePostings(e.ChildSemiJoin(n, cur, sat[c]))
 			}
 		}
 		sat[t] = cur
