@@ -13,6 +13,7 @@ import (
 	"repro/internal/document"
 	"repro/internal/exec"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/prepost"
 	"repro/internal/scheme"
 	"repro/internal/storage"
@@ -585,6 +586,61 @@ func BenchmarkEpochPublish(b *testing.B) {
 				}
 			}
 			benchSink += d.Stats().Nodes
+		})
+	}
+}
+
+// BenchmarkObsOverhead prices the observability layer. The off rows run
+// the nil-metric fast path (no registry configured) — their cost must be
+// indistinguishable from the pre-observability engine, which is the
+// instrumentation-off ≤2% requirement the benchdiff gate enforces against
+// the committed baseline. The on rows run with a live registry: every
+// counter/histogram update, block-stat drain and instrumented gather
+// routing included, pricing what a production deployment pays to observe.
+func BenchmarkObsOverhead(b *testing.B) {
+	doc := xmltree.Recursive(2, 13)
+	rn := workload.BuildRUID(doc)
+	ix := index.Build(doc.DocumentElement(), rn)
+	ancsP, descsP := ix.Postings("section"), ix.Postings("title")
+	execs := []struct {
+		tag string
+		e   *exec.Executor
+	}{
+		{"off", exec.New(exec.Config{Mode: exec.Serial})},
+		{"on", exec.New(exec.Config{Mode: exec.Serial, Observe: obs.NewRegistry()})},
+	}
+	for _, ex := range execs {
+		e := ex.e
+		b.Run("upward_semi_join/"+ex.tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink += len(e.UpwardSemiJoin(rn, ancsP, descsP))
+			}
+		})
+	}
+
+	qDoc := xmltree.Recursive(2, 9)
+	docs := []struct {
+		tag  string
+		opts document.Options
+	}{
+		{"off", document.Options{}},
+		{"on", document.Options{Observe: obs.NewRegistry()}},
+	}
+	for _, dc := range docs {
+		d, err := document.FromTree(qDoc, dc.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("query/"+dc.tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nodes, _, err := d.Query("//section//title")
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink += len(nodes)
+			}
 		})
 	}
 }

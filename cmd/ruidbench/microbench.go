@@ -11,6 +11,7 @@ import (
 	"repro/internal/document"
 	"repro/internal/exec"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/twig"
 	"repro/internal/workload"
 	"repro/internal/xmltree"
@@ -272,6 +273,77 @@ func postingsBenches() []struct {
 	return out
 }
 
+// obsBenches measures what observation costs: the same upward semi-join
+// and planner query, once on an uninstrumented executor/document (the
+// nil-metric fast path — this row is the proof that observation off is
+// free) and once with a registry attached (counters, histograms and block
+// stats live — this row prices the instrumented gather path). The off/on
+// pairs are tracked independently by the benchdiff gate, so neither the
+// zero-cost default nor the observed cost can drift silently.
+func obsBenches() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	doc := xmltree.Recursive(2, 13)
+	rn := workload.BuildRUID(doc)
+	ix := index.Build(doc.DocumentElement(), rn)
+	ancsP, descsP := ix.Postings("section"), ix.Postings("title")
+
+	off := exec.New(exec.Config{Mode: exec.Serial})
+	on := exec.New(exec.Config{Mode: exec.Serial, Observe: obs.NewRegistry()})
+
+	qDoc := xmltree.Recursive(2, 9)
+	dOff, err := document.FromTree(qDoc, document.Options{})
+	if err != nil {
+		panic(err)
+	}
+	dOn, err := document.FromTree(qDoc, document.Options{Observe: obs.NewRegistry()})
+	if err != nil {
+		panic(err)
+	}
+
+	var out []struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		out = append(out, struct {
+			name string
+			fn   func(b *testing.B)
+		}{name, fn})
+	}
+
+	add("obs/upward_semi_join/off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(off.UpwardSemiJoin(rn, ancsP, descsP))
+		}
+	})
+	add("obs/upward_semi_join/on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			microSink += len(on.UpwardSemiJoin(rn, ancsP, descsP))
+		}
+	})
+	add("obs/query/off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nodes, _, err := dOff.Query("//section//title")
+			if err != nil {
+				b.Fatal(err)
+			}
+			microSink += len(nodes)
+		}
+	})
+	add("obs/query/on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nodes, _, err := dOn.Query("//section//title")
+			if err != nil {
+				b.Fatal(err)
+			}
+			microSink += len(nodes)
+		}
+	})
+	return out
+}
+
 // bytesPerPostingRows reports the resident compression of the
 // block-compressed postings as pseudo-benchmark rows: the value (carried in
 // ns_per_op, lower is better) is PostingsSizeBytes / PostingsCount on a
@@ -417,6 +489,7 @@ func runMicrobench(out io.Writer) error {
 	}
 	benches = append(benches, parallelBenches()...)
 	benches = append(benches, postingsBenches()...)
+	benches = append(benches, obsBenches()...)
 
 	results := make([]microResult, 0, len(benches)+1)
 	for _, bench := range benches {

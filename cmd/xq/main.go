@@ -4,11 +4,23 @@
 //
 // Usage:
 //
-//	xq [-nav ruid|uid|pointer|planner] [-area N] [-serialize] 'xpath' [file.xml]
+//	xq [-nav ruid|uid|pointer|planner] [-area N] [-serialize]
+//	   [-explain-analyze] [-stats] [-parallel auto|serial|forced]
+//	   [-workers N] [-serve addr] 'xpath' [file.xml]
 //
 // With no file argument the document is read from standard input. The ruid
 // and planner modes go through the internal/document facade, the same stack
 // a serving process would use.
+//
+// Observability flags:
+//
+//   - -explain-analyze runs the query through the planner under a trace and
+//     prints the per-stage EXPLAIN ANALYZE report (plan decision with both
+//     cost estimates, per-stage cardinalities and wall times, per-shard
+//     durations, blocks admitted versus skipped) instead of the result set.
+//   - -stats dumps the engine metric registry after the query.
+//   - -serve addr keeps the process alive after the query, exposing
+//     /metrics, /metrics.json, /debug/vars and /debug/pprof on addr.
 package main
 
 import (
@@ -19,15 +31,35 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/document"
+	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/uid"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
 
+// config carries the flag values into run.
+type config struct {
+	nav       string
+	area      int
+	serialize bool
+	explain   bool   // -explain-analyze: print the trace, not the results
+	stats     bool   // -stats: dump the metric registry after the query
+	parallel  string // -parallel: auto | serial | forced
+	workers   int    // -workers: query worker cap (0 = GOMAXPROCS)
+	serve     string // -serve: observability HTTP address ("" = off)
+}
+
 func main() {
-	nav := flag.String("nav", "ruid", "navigator: ruid, uid, pointer or planner")
-	areaBudget := flag.Int("area", core.DefaultMaxAreaNodes, "ruid: max nodes per UID-local area")
-	serialize := flag.Bool("serialize", false, "print matched subtrees as XML instead of paths")
+	var cfg config
+	flag.StringVar(&cfg.nav, "nav", "ruid", "navigator: ruid, uid, pointer or planner")
+	flag.IntVar(&cfg.area, "area", core.DefaultMaxAreaNodes, "ruid: max nodes per UID-local area")
+	flag.BoolVar(&cfg.serialize, "serialize", false, "print matched subtrees as XML instead of paths")
+	flag.BoolVar(&cfg.explain, "explain-analyze", false, "print the traced execution report (implies -nav planner)")
+	flag.BoolVar(&cfg.stats, "stats", false, "dump engine metrics after the query")
+	flag.StringVar(&cfg.parallel, "parallel", "auto", "identifier pipeline scheduling: auto, serial or forced")
+	flag.IntVar(&cfg.workers, "workers", 0, "query worker cap (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.serve, "serve", "", "serve /metrics and /debug/pprof on this address after the query")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xq [flags] 'xpath' [file.xml]\n")
 		flag.PrintDefaults()
@@ -37,13 +69,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*nav, *areaBudget, *serialize, flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+	if err := run(cfg, flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "xq: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(nav string, areaBudget int, serialize bool, query, path string, out io.Writer) error {
+// execMode resolves the -parallel flag.
+func execMode(s string) (exec.Mode, error) {
+	switch s {
+	case "auto", "":
+		return exec.Auto, nil
+	case "serial":
+		return exec.Serial, nil
+	case "forced":
+		return exec.Forced, nil
+	default:
+		return exec.Auto, fmt.Errorf("unknown -parallel mode %q (want auto, serial or forced)", s)
+	}
+}
+
+func run(cfg config, query, path string, out io.Writer) error {
 	var in io.Reader = os.Stdin
 	if path != "" {
 		f, err := os.Open(path)
@@ -53,8 +99,40 @@ func run(nav string, areaBudget int, serialize bool, query, path string, out io.
 		defer f.Close()
 		in = f
 	}
+	mode, err := execMode(cfg.parallel)
+	if err != nil {
+		return err
+	}
 	opts := document.Options{
-		Partition: core.PartitionConfig{MaxAreaNodes: areaBudget, AdjustFanout: true},
+		Partition:   core.PartitionConfig{MaxAreaNodes: cfg.area, AdjustFanout: true},
+		Parallel:    mode,
+		ExecWorkers: cfg.workers,
+	}
+	var reg *obs.Registry
+	if cfg.stats || cfg.serve != "" {
+		reg = obs.NewRegistry()
+		opts.Observe = reg
+	}
+	nav := cfg.nav
+	if cfg.explain {
+		nav = "planner"
+	}
+
+	// finish dumps metrics and/or parks the process on the observability
+	// endpoint after the query ran, for the modes that built a facade.
+	finish := func() error {
+		if cfg.stats {
+			reg.WriteText(out)
+		}
+		if cfg.serve != "" {
+			srv, err := obs.Serve(cfg.serve, reg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "obs: serving /metrics and /debug on http://%s (interrupt to exit)\n", srv.Addr())
+			select {}
+		}
+		return nil
 	}
 
 	switch nav {
@@ -63,12 +141,23 @@ func run(nav string, areaBudget int, serialize bool, query, path string, out io.
 		if err != nil {
 			return err
 		}
+		if cfg.explain {
+			report, err := d.ExplainAnalyze(query)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, report)
+			return finish()
+		}
 		results, plan, err := d.Query(query)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "plan: %s\n", plan.Explain())
-		return printResults(out, results, serialize)
+		if err := printResults(out, results, cfg.serialize); err != nil {
+			return err
+		}
+		return finish()
 
 	case "ruid":
 		d, err := document.Open(in, opts)
@@ -81,9 +170,15 @@ func run(nav string, areaBudget int, serialize bool, query, path string, out io.
 		if err != nil {
 			return err
 		}
-		return printResults(out, results, serialize)
+		if err := printResults(out, results, cfg.serialize); err != nil {
+			return err
+		}
+		return finish()
 
 	case "uid", "pointer":
+		if cfg.stats || cfg.serve != "" {
+			return fmt.Errorf("-stats and -serve need the facade: use -nav ruid or -nav planner")
+		}
 		doc, err := xmltree.Parse(in)
 		if err != nil {
 			return err
@@ -100,7 +195,7 @@ func run(nav string, areaBudget int, serialize bool, query, path string, out io.
 		if err != nil {
 			return err
 		}
-		return printResults(out, results, serialize)
+		return printResults(out, results, cfg.serialize)
 
 	default:
 		return fmt.Errorf("unknown navigator %q", nav)

@@ -16,13 +16,18 @@ func writeDoc(t *testing.T, src string) string {
 	return p
 }
 
+// cfg builds the flag config most tests use: only the navigator varies.
+func cfg(nav string) config {
+	return config{nav: nav, area: 8, parallel: "auto"}
+}
+
 const testDoc = `<lib><book id="b1"><title>One</title></book><book id="b2"><title>Two</title></book></lib>`
 
 func TestRunNavigators(t *testing.T) {
 	p := writeDoc(t, testDoc)
 	for _, nav := range []string{"ruid", "uid", "pointer"} {
 		var out strings.Builder
-		if err := run(nav, 8, false, "//book[2]/title", p, &out); err != nil {
+		if err := run(cfg(nav), "//book[2]/title", p, &out); err != nil {
 			t.Fatalf("%s: %v", nav, err)
 		}
 		if got := strings.TrimSpace(out.String()); got != "/lib[0]/book[1]/title[0]" {
@@ -34,7 +39,9 @@ func TestRunNavigators(t *testing.T) {
 func TestRunSerialize(t *testing.T) {
 	p := writeDoc(t, testDoc)
 	var out strings.Builder
-	if err := run("ruid", 8, true, "/lib/book[@id='b1']", p, &out); err != nil {
+	c := cfg("ruid")
+	c.serialize = true
+	if err := run(c, "/lib/book[@id='b1']", p, &out); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.TrimSpace(out.String()); got != `<book id="b1"><title>One</title></book>` {
@@ -45,14 +52,14 @@ func TestRunSerialize(t *testing.T) {
 func TestRunAttributesAndText(t *testing.T) {
 	p := writeDoc(t, testDoc)
 	var out strings.Builder
-	if err := run("ruid", 8, false, "//book/@id", p, &out); err != nil {
+	if err := run(cfg("ruid"), "//book/@id", p, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `@id = "b1"`) {
 		t.Errorf("attribute output wrong: %s", out.String())
 	}
 	out.Reset()
-	if err := run("pointer", 8, false, "//title/text()", p, &out); err != nil {
+	if err := run(cfg("pointer"), "//title/text()", p, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"One"`) || !strings.Contains(out.String(), `"Two"`) {
@@ -63,26 +70,79 @@ func TestRunAttributesAndText(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	p := writeDoc(t, testDoc)
 	var out strings.Builder
-	if err := run("bogus", 8, false, "//a", p, &out); err == nil {
+	if err := run(cfg("bogus"), "//a", p, &out); err == nil {
 		t.Errorf("unknown navigator accepted")
 	}
-	if err := run("ruid", 8, false, "//a[", p, &out); err == nil {
+	if err := run(cfg("ruid"), "//a[", p, &out); err == nil {
 		t.Errorf("bad query accepted")
 	}
-	if err := run("ruid", 8, false, "//a", filepath.Join(t.TempDir(), "nope.xml"), &out); err == nil {
+	if err := run(cfg("ruid"), "//a", filepath.Join(t.TempDir(), "nope.xml"), &out); err == nil {
 		t.Errorf("missing file accepted")
+	}
+	bad := cfg("ruid")
+	bad.parallel = "sideways"
+	if err := run(bad, "//a", p, &out); err == nil {
+		t.Errorf("unknown -parallel mode accepted")
+	}
+	uidStats := cfg("uid")
+	uidStats.stats = true
+	if err := run(uidStats, "//a", p, &out); err == nil {
+		t.Errorf("-stats with -nav uid accepted")
 	}
 }
 
 func TestRunPlanner(t *testing.T) {
 	p := writeDoc(t, testDoc)
 	var out strings.Builder
-	if err := run("planner", 8, false, "/lib/book/title", p, &out); err != nil {
+	if err := run(cfg("planner"), "/lib/book/title", p, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := strings.TrimSpace(out.String())
 	if !strings.Contains(got, "/lib[0]/book[0]/title[0]") ||
 		!strings.Contains(got, "/lib[0]/book[1]/title[0]") {
 		t.Fatalf("planner output: %q", got)
+	}
+}
+
+// TestRunExplainAnalyze checks that -explain-analyze prints the traced
+// report (not the result paths), including the plan line and per-stage
+// spans, and that it works from any -nav since the flag implies planner.
+func TestRunExplainAnalyze(t *testing.T) {
+	p := writeDoc(t, testDoc)
+	var out strings.Builder
+	c := cfg("ruid") // -explain-analyze overrides the navigator
+	c.explain = true
+	if err := run(c, "/lib/book/title", p, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"trace /lib/book/title", "plan=", "total=", "resolve"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("explain-analyze output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "/lib[0]/book[0]/title[0]") {
+		t.Errorf("explain-analyze printed result paths:\n%s", got)
+	}
+}
+
+// TestRunStats checks that -stats appends a registry dump after the
+// results for the facade-backed navigators.
+func TestRunStats(t *testing.T) {
+	p := writeDoc(t, testDoc)
+	for _, nav := range []string{"planner", "ruid"} {
+		var out strings.Builder
+		c := cfg(nav)
+		c.stats = true
+		if err := run(c, "//book/title", p, &out); err != nil {
+			t.Fatalf("%s: %v", nav, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "doc.epoch 1") {
+			t.Errorf("%s: stats dump missing doc.epoch:\n%s", nav, got)
+		}
+		if nav == "planner" && !strings.Contains(got, "query.count 1") {
+			t.Errorf("planner: stats dump missing query.count:\n%s", got)
+		}
 	}
 }

@@ -62,11 +62,13 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataguide"
 	"repro/internal/exec"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/scheme"
 	"repro/internal/xmltree"
@@ -92,6 +94,11 @@ type Options struct {
 	Parallel exec.Mode
 	// ExecWorkers caps the query worker pool; 0 means GOMAXPROCS.
 	ExecWorkers int
+	// Observe, when non-nil, turns the runtime observability layer on:
+	// planner, executor and publication metrics are recorded into this
+	// registry for the document's whole lifetime. nil (the default) leaves
+	// every hot path on its unobserved branch.
+	Observe *obs.Registry
 }
 
 func (o Options) coreOptions() core.Options {
@@ -110,6 +117,8 @@ func (o Options) coreOptions() core.Options {
 type Document struct {
 	opts core.Options
 	exec *exec.Executor // schedules every epoch's identifier pipelines
+	reg  *obs.Registry  // nil when unobserved
+	dm   *docMetrics    // resolved metric pointers; nil when unobserved
 
 	mu     sync.Mutex    // serializes writers and epoch publication
 	master *xmltree.Node // writer-private tree; never exposed to readers
@@ -172,7 +181,9 @@ func FromTree(doc *xmltree.Node, opts Options) (*Document, error) {
 	}
 	d := &Document{
 		opts:   copts,
-		exec:   exec.New(exec.Config{Mode: opts.Parallel, Workers: opts.ExecWorkers}),
+		exec:   exec.New(exec.Config{Mode: opts.Parallel, Workers: opts.ExecWorkers, Observe: opts.Observe}),
+		reg:    opts.Observe,
+		dm:     newDocMetrics(opts.Observe),
 		master: doc,
 		num:    num,
 	}
@@ -195,7 +206,11 @@ func (d *Document) publishLocked(delta *core.Delta) error {
 	if prev == nil || delta == nil || delta.Full {
 		return d.publishFullLocked()
 	}
-	snap, err := d.assembleDeltaLocked(prev, delta)
+	var start time.Time
+	if d.dm != nil {
+		start = time.Now()
+	}
+	snap, st, err := d.assembleDeltaLocked(prev, delta)
 	if err != nil {
 		// Incremental assembly fails only on an internal invariant
 		// violation; a full publication always recovers a consistent epoch.
@@ -204,6 +219,7 @@ func (d *Document) publishLocked(delta *core.Delta) error {
 	d.epoch++
 	snap.epoch = d.epoch
 	d.cur.Store(snap)
+	d.noteEpochLocked(false, st, time.Since(start))
 	return nil
 }
 
@@ -211,6 +227,10 @@ func (d *Document) publishLocked(delta *core.Delta) error {
 // numbering at the clone and atomically installs the bundle as the next
 // epoch. Callers hold d.mu.
 func (d *Document) publishFullLocked() error {
+	var start time.Time
+	if d.dm != nil {
+		start = time.Now()
+	}
 	tree, mapping := d.master.CloneWithMap()
 	num, err := d.num.CloneFor(tree, mapping)
 	if err != nil {
@@ -220,30 +240,32 @@ func (d *Document) publishFullLocked() error {
 	d.epoch++
 	planner := query.New(tree, num)
 	planner.SetExecutor(d.exec)
+	planner.SetObserver(d.reg)
 	d.cur.Store(&Snapshot{
 		epoch:   d.epoch,
 		tree:    tree,
 		num:     num,
 		planner: planner,
 	})
+	d.noteEpochLocked(true, index.DeltaStats{}, time.Since(start))
 	return nil
 }
 
 // assembleDeltaLocked builds the next epoch incrementally from the
 // previous one and the update's delta. Callers hold d.mu.
-func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta) (*Snapshot, error) {
+func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta) (*Snapshot, index.DeltaStats, error) {
 	copySet := d.num.CopySet(delta)
 	tree, copies, err := d.master.CloneAlong(copySet, d.m2e)
 	if err != nil {
-		return nil, err
+		return nil, index.DeltaStats{}, err
 	}
 	num, err := d.num.CloneDelta(prev.num, delta, copies, d.m2e)
 	if err != nil {
-		return nil, err
+		return nil, index.DeltaStats{}, err
 	}
-	ix, err := d.applyIndexDelta(prev, num, delta)
+	ix, st, err := d.applyIndexDelta(prev, num, delta)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	guide := d.applyGuideDelta(prev, delta)
 	// Commit the master→epoch mapping only once every component assembled.
@@ -258,16 +280,17 @@ func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta) (*Snap
 	}
 	planner := query.NewWithState(tree, num, ix, guide, d.nodeCount, d.depthSum)
 	planner.SetExecutor(d.exec)
+	planner.SetObserver(d.reg)
 	return &Snapshot{
 		tree:    tree,
 		num:     num,
 		planner: planner,
-	}, nil
+	}, st, nil
 }
 
 // applyIndexDelta translates the update's delta into per-name posting
 // edits and derives the next epoch's index from the previous one.
-func (d *Document) applyIndexDelta(prev *Snapshot, num *core.Numbering, delta *core.Delta) (*index.NameIndex, error) {
+func (d *Document) applyIndexDelta(prev *Snapshot, num *core.Numbering, delta *core.Delta) (*index.NameIndex, index.DeltaStats, error) {
 	relabeled := make(map[string]map[core.ID]core.ID)
 	for _, r := range delta.Relabels {
 		if r.Node.Kind != xmltree.Element {
@@ -303,7 +326,7 @@ func (d *Document) applyIndexDelta(prev *Snapshot, num *core.Numbering, delta *c
 			return true
 		})
 	}
-	return prev.Index().ApplyDelta(num, relabeled, removed, inserted)
+	return prev.Index().ApplyDeltaStats(num, relabeled, removed, inserted)
 }
 
 // applyGuideDelta derives the next epoch's DataGuide from the previous

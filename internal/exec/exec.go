@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/obs"
 )
 
 // Mode selects when an Executor parallelizes an operation.
@@ -56,7 +57,7 @@ func (m Mode) String() string {
 const DefaultMinWork = 4096
 
 // Config configures an Executor. The zero value is the serving default:
-// Auto mode, GOMAXPROCS workers, DefaultMinWork threshold.
+// Auto mode, GOMAXPROCS workers, DefaultMinWork threshold, no observation.
 type Config struct {
 	Mode Mode
 	// Workers caps the worker pool; 0 means runtime.GOMAXPROCS(0).
@@ -64,15 +65,22 @@ type Config struct {
 	// MinWork is the Auto-mode serial/parallel crossover in total postings;
 	// 0 means DefaultMinWork.
 	MinWork int
+	// Observe, when non-nil, receives the executor's engine metrics
+	// (operation and shard latencies, seek-kernel block statistics, pool
+	// traffic). nil leaves the executor unobserved at one branch of cost
+	// per operation.
+	Observe *obs.Registry
 }
 
 // Executor schedules identifier joins over a worker pool. It is immutable
 // and safe for concurrent use; one executor is shared by every query of a
-// planner.
+// planner. WithSpan derives a per-query traced view.
 type Executor struct {
 	mode    Mode
 	workers int
 	minWork int
+	m       *execMetrics
+	span    *obs.Span
 }
 
 // New builds an executor from cfg, applying the zero-value defaults.
@@ -85,7 +93,7 @@ func New(cfg Config) *Executor {
 	if mw <= 0 {
 		mw = DefaultMinWork
 	}
-	return &Executor{mode: cfg.Mode, workers: w, minWork: mw}
+	return &Executor{mode: cfg.Mode, workers: w, minWork: mw, m: newExecMetrics(cfg.Observe)}
 }
 
 var defaultExec atomic.Pointer[Executor]
@@ -177,30 +185,42 @@ func (e *Executor) run(n int, fn func(i int)) {
 // merge-join kernels additionally reuse their stack and chain buffers
 // through index.MergeScratch.
 
-var idBufPool = sync.Pool{New: func() any { return new([]core.ID) }}
+var idBufPool = sync.Pool{New: func() any { poolMisses.Add(1); return new([]core.ID) }}
 
-func getIDBuf() *[]core.ID  { return idBufPool.Get().(*[]core.ID) }
+func getIDBuf() *[]core.ID  { poolGets.Add(1); return idBufPool.Get().(*[]core.ID) }
 func putIDBuf(b *[]core.ID) { *b = (*b)[:0]; idBufPool.Put(b) }
 
-var pairBufPool = sync.Pool{New: func() any { return new([]index.PairID) }}
+var pairBufPool = sync.Pool{New: func() any { poolMisses.Add(1); return new([]index.PairID) }}
 
-func getPairBuf() *[]index.PairID  { return pairBufPool.Get().(*[]index.PairID) }
+func getPairBuf() *[]index.PairID  { poolGets.Add(1); return pairBufPool.Get().(*[]index.PairID) }
 func putPairBuf(b *[]index.PairID) { *b = (*b)[:0]; pairBufPool.Put(b) }
 
-var hitSetPool = sync.Pool{New: func() any { return make(index.IDSet) }}
+var hitSetPool = sync.Pool{New: func() any { poolMisses.Add(1); return make(index.IDSet) }}
 
-func getHitSet() index.IDSet { return hitSetPool.Get().(index.IDSet) }
+func getHitSet() index.IDSet { poolGets.Add(1); return hitSetPool.Get().(index.IDSet) }
 func putHitSet(s index.IDSet) {
 	clear(s)
 	hitSetPool.Put(s)
 }
 
-var mergeScratchPool = sync.Pool{New: func() any { return new(index.MergeScratch) }}
+var mergeScratchPool = sync.Pool{New: func() any { poolMisses.Add(1); return new(index.MergeScratch) }}
 
-var blockScratchPool = sync.Pool{New: func() any { return new(index.BlockScratch) }}
+func getMergeScratch() *index.MergeScratch {
+	poolGets.Add(1)
+	return mergeScratchPool.Get().(*index.MergeScratch)
+}
+func putMergeScratch(sc *index.MergeScratch) { mergeScratchPool.Put(sc) }
 
-func getBlockScratch() *index.BlockScratch  { return blockScratchPool.Get().(*index.BlockScratch) }
-func putBlockScratch(b *index.BlockScratch) { blockScratchPool.Put(b) }
+var blockScratchPool = sync.Pool{New: func() any { poolMisses.Add(1); return new(index.BlockScratch) }}
+
+func getBlockScratch() *index.BlockScratch {
+	poolGets.Add(1)
+	return blockScratchPool.Get().(*index.BlockScratch)
+}
+
+// putBlockScratch zeroes the statistics so a pooled scratch never leaks one
+// operation's counts into the next.
+func putBlockScratch(b *index.BlockScratch) { b.Stats = index.BlockStats{}; blockScratchPool.Put(b) }
 
 // shardBlocks cuts nblocks posting blocks into at most want contiguous
 // [lo, hi) block-index ranges of near-equal size. Blocks never split, so

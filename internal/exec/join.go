@@ -2,6 +2,7 @@ package exec
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/index"
@@ -16,21 +17,35 @@ import (
 // and shard outputs concatenate in shard order — which is document order,
 // because the inputs are document-ordered and every kernel preserves input
 // order. Below the crossover (or in Serial mode) each operation delegates
-// to the one-shot index.*Postings form, so P=1 costs one extra call frame.
+// to the one-shot index.*Postings form, so P=1 costs one extra call frame —
+// unless the executor is observed, in which case block-backed inputs run
+// the gather path with a single shard so the seek kernels' block statistics
+// surface (identical output; see metrics.go).
 
 // UpwardJoin is index.UpwardJoinPostings sharded over descs: every pair
 // (a, d) with a ∈ ancs a proper ancestor of d ∈ descs, in document order of
 // the descendant.
 func (e *Executor) UpwardJoin(n *core.Numbering, ancs, descs index.Postings) []index.PairID {
+	if !e.instrumented() {
+		return e.upwardJoin(n, ancs, descs)
+	}
+	start := time.Now()
+	out := e.upwardJoin(n, ancs, descs)
+	e.noteOp(start)
+	return out
+}
+
+func (e *Executor) upwardJoin(n *core.Numbering, ancs, descs index.Postings) []index.PairID {
 	p := e.workersFor(ancs.Len() + descs.Len())
 	if pl := descs.List(); pl != nil {
-		if p <= 1 || pl.NumBlocks() <= 1 {
+		if (p <= 1 || pl.NumBlocks() <= 1) && !e.instrumented() {
 			return index.UpwardJoinPostings(n, ancs, descs)
 		}
 		pr := index.MakeProbe(ancs)
 		return gatherPairs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []index.PairID) []index.PairID {
 			bs := getBlockScratch()
 			buf = index.AppendUpwardJoinBlocks(n, pr, pl, r[0], r[1], bs, buf)
+			e.noteBlockStats(&bs.Stats)
 			putBlockScratch(bs)
 			return buf
 		})
@@ -59,19 +74,30 @@ func (e *Executor) UpwardJoin(n *core.Numbering, ancs, descs index.Postings) []i
 // one. The ancestor side is materialized either way: the merge kernel walks
 // it sequentially.
 func (e *Executor) MergeJoin(n *core.Numbering, ancs, descs index.Postings) []index.PairID {
+	if !e.instrumented() {
+		return e.mergeJoin(n, ancs, descs)
+	}
+	start := time.Now()
+	out := e.mergeJoin(n, ancs, descs)
+	e.noteOp(start)
+	return out
+}
+
+func (e *Executor) mergeJoin(n *core.Numbering, ancs, descs index.Postings) []index.PairID {
 	p := e.workersFor(ancs.Len() + descs.Len())
 	if pl := descs.List(); pl != nil {
-		if p <= 1 || pl.NumBlocks() <= 1 {
+		if (p <= 1 || pl.NumBlocks() <= 1) && !e.instrumented() {
 			return index.MergeJoinPostings(n, ancs, descs)
 		}
 		ancIDs := ancs.Materialize()
 		pr := index.MakeProbe(index.SlicePostings(ancIDs))
 		return gatherPairs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []index.PairID) []index.PairID {
-			sc := mergeScratchPool.Get().(*index.MergeScratch)
+			sc := getMergeScratch()
 			bs := getBlockScratch()
 			buf = index.AppendMergeJoinBlocks(n, ancIDs, pr, pl, r[0], r[1], sc, bs, buf)
+			e.noteBlockStats(&bs.Stats)
 			putBlockScratch(bs)
-			mergeScratchPool.Put(sc)
+			putMergeScratch(sc)
 			return buf
 		})
 	}
@@ -90,7 +116,7 @@ func (e *Executor) MergeJoin(n *core.Numbering, ancs, descs index.Postings) []in
 		start := sort.Search(len(ancIDs), func(j int) bool {
 			return n.CompareOrderID(ancIDs[j], d0) >= 0
 		})
-		sc := mergeScratchPool.Get().(*index.MergeScratch)
+		sc := getMergeScratch()
 		chainBuf, seedBuf := getIDBuf(), getIDBuf()
 		chain := n.AppendAncestorChainID(*chainBuf, d0)
 		// The chain runs nearest-first and ends at the root; the seed wants
@@ -105,7 +131,7 @@ func (e *Executor) MergeJoin(n *core.Numbering, ancs, descs index.Postings) []in
 		*chainBuf, *seedBuf = chain, seed
 		putIDBuf(chainBuf)
 		putIDBuf(seedBuf)
-		mergeScratchPool.Put(sc)
+		putMergeScratch(sc)
 		return buf
 	})
 }
@@ -114,15 +140,26 @@ func (e *Executor) MergeJoin(n *core.Numbering, ancs, descs index.Postings) []in
 // members of descs having at least one proper ancestor in ancs, in input
 // order.
 func (e *Executor) UpwardSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
+	if !e.instrumented() {
+		return e.upwardSemiJoin(n, ancs, descs)
+	}
+	start := time.Now()
+	out := e.upwardSemiJoin(n, ancs, descs)
+	e.noteOp(start)
+	return out
+}
+
+func (e *Executor) upwardSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
 	p := e.workersFor(ancs.Len() + descs.Len())
 	if pl := descs.List(); pl != nil {
-		if p <= 1 || pl.NumBlocks() <= 1 {
+		if (p <= 1 || pl.NumBlocks() <= 1) && !e.instrumented() {
 			return index.UpwardSemiJoinPostings(n, ancs, descs)
 		}
 		pr := index.MakeProbe(ancs)
 		return gatherIDs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []core.ID) []core.ID {
 			bs := getBlockScratch()
 			buf = index.AppendUpwardSemiJoinBlocks(n, pr, pl, r[0], r[1], bs, buf)
+			e.noteBlockStats(&bs.Stats)
 			putBlockScratch(bs)
 			return buf
 		})
@@ -144,15 +181,26 @@ func (e *Executor) UpwardSemiJoin(n *core.Numbering, ancs, descs index.Postings)
 // ParentSemiJoin is index.ParentSemiJoinPostings sharded over descs: the
 // members of descs whose direct parent is in ancs, in input order.
 func (e *Executor) ParentSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
+	if !e.instrumented() {
+		return e.parentSemiJoin(n, ancs, descs)
+	}
+	start := time.Now()
+	out := e.parentSemiJoin(n, ancs, descs)
+	e.noteOp(start)
+	return out
+}
+
+func (e *Executor) parentSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
 	p := e.workersFor(ancs.Len() + descs.Len())
 	if pl := descs.List(); pl != nil {
-		if p <= 1 || pl.NumBlocks() <= 1 {
+		if (p <= 1 || pl.NumBlocks() <= 1) && !e.instrumented() {
 			return index.ParentSemiJoinPostings(n, ancs, descs)
 		}
 		pr := index.MakeProbe(ancs)
 		return gatherIDs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []core.ID) []core.ID {
 			bs := getBlockScratch()
 			buf = index.AppendParentSemiJoinBlocks(n, pr, pl, r[0], r[1], bs, buf)
+			e.noteBlockStats(&bs.Stats)
 			putBlockScratch(bs)
 			return buf
 		})
@@ -177,6 +225,16 @@ func (e *Executor) ParentSemiJoin(n *core.Numbering, ancs, descs index.Postings)
 // the union is filtered through ancs serially, which restores order without
 // a sort.
 func (e *Executor) AncestorSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
+	if !e.instrumented() {
+		return e.ancestorSemiJoin(n, ancs, descs)
+	}
+	start := time.Now()
+	out := e.ancestorSemiJoin(n, ancs, descs)
+	e.noteOp(start)
+	return out
+}
+
+func (e *Executor) ancestorSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
 	return e.hitSemiJoin(ancs, descs,
 		func() []core.ID { return index.AncestorSemiJoinPostings(n, ancs, descs) },
 		func(pr *index.Probe, run []core.ID, hit index.IDSet) {
@@ -191,6 +249,16 @@ func (e *Executor) AncestorSemiJoin(n *core.Numbering, ancs, descs index.Posting
 // sharded over descs: the members of ancs having at least one direct child
 // in descs, in ancs order.
 func (e *Executor) ChildSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
+	if !e.instrumented() {
+		return e.childSemiJoin(n, ancs, descs)
+	}
+	start := time.Now()
+	out := e.childSemiJoin(n, ancs, descs)
+	e.noteOp(start)
+	return out
+}
+
+func (e *Executor) childSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
 	return e.hitSemiJoin(ancs, descs,
 		func() []core.ID { return index.ChildSemiJoinPostings(n, ancs, descs) },
 		func(pr *index.Probe, run []core.ID, hit index.IDSet) {
@@ -208,18 +276,18 @@ func (e *Executor) hitSemiJoin(
 	collectBlocks func(pr *index.Probe, pl *index.PostingList, lo, hi int, bs *index.BlockScratch, hit index.IDSet),
 ) []core.ID {
 	p := e.workersFor(ancs.Len() + descs.Len())
-	if p <= 1 {
-		return serial()
-	}
 	var ranges [][2]int
 	var descIDs []core.ID
 	pl := descs.List()
 	if pl != nil {
-		if pl.NumBlocks() <= 1 {
+		if (p <= 1 || pl.NumBlocks() <= 1) && !e.instrumented() {
 			return serial()
 		}
 		ranges = shardBlocks(pl.NumBlocks(), p)
 	} else {
+		if p <= 1 {
+			return serial()
+		}
 		descIDs = descs.Slice()
 		ranges = shardRanges(descIDs, p)
 		if len(ranges) <= 1 {
@@ -228,17 +296,22 @@ func (e *Executor) hitSemiJoin(
 	}
 	pr := index.MakeProbe(ancs)
 	hits := make([]index.IDSet, len(ranges))
+	clock := e.newShardClock(len(ranges))
 	e.run(len(ranges), func(s int) {
+		t := clock.start()
 		hit := getHitSet()
 		if pl != nil {
 			bs := getBlockScratch()
 			collectBlocks(pr, pl, ranges[s][0], ranges[s][1], bs, hit)
+			e.noteBlockStats(&bs.Stats)
 			putBlockScratch(bs)
 		} else {
 			collectRun(pr, descIDs[ranges[s][0]:ranges[s][1]], hit)
 		}
 		hits[s] = hit
+		clock.stop(s, t)
 	})
+	clock.note(e)
 	union := hits[0]
 	for _, h := range hits[1:] {
 		for id := range h {
@@ -281,11 +354,15 @@ func (e *Executor) PathQuery(ix *index.NameIndex, names ...string) []core.ID {
 // exact-size slice.
 func gatherPairs(e *Executor, ranges [][2]int, kernel func(r [2]int, buf []index.PairID) []index.PairID) []index.PairID {
 	bufs := make([]*[]index.PairID, len(ranges))
+	clock := e.newShardClock(len(ranges))
 	e.run(len(ranges), func(s int) {
+		t := clock.start()
 		b := getPairBuf()
 		*b = kernel(ranges[s], *b)
 		bufs[s] = b
+		clock.stop(s, t)
 	})
+	clock.note(e)
 	total := 0
 	for _, b := range bufs {
 		total += len(*b)
@@ -301,11 +378,15 @@ func gatherPairs(e *Executor, ranges [][2]int, kernel func(r [2]int, buf []index
 // gatherIDs is gatherPairs for identifier outputs.
 func gatherIDs(e *Executor, ranges [][2]int, kernel func(r [2]int, buf []core.ID) []core.ID) []core.ID {
 	bufs := make([]*[]core.ID, len(ranges))
+	clock := e.newShardClock(len(ranges))
 	e.run(len(ranges), func(s int) {
+		t := clock.start()
 		b := getIDBuf()
 		*b = kernel(ranges[s], *b)
 		bufs[s] = b
+		clock.stop(s, t)
 	})
+	clock.note(e)
 	total := 0
 	for _, b := range bufs {
 		total += len(*b)

@@ -33,8 +33,31 @@ func (ix *NameIndex) ApplyDelta(
 	removed map[string]map[core.ID]bool,
 	inserted map[string][]core.ID,
 ) (*NameIndex, error) {
+	nix, _, err := ix.ApplyDeltaStats(rn, relabeled, removed, inserted)
+	return nix, err
+}
+
+// DeltaStats quantifies the scope of one ApplyDelta: how much of the index
+// an update actually re-encoded versus structurally shared. The document
+// facade folds it into the observability registry so the paper's
+// update-scope claim is visible at runtime, not just in benchmarks.
+type DeltaStats struct {
+	NamesTouched      int // names whose posting list was re-derived
+	NamesShared       int // names whose *PostingList is shared with the previous epoch
+	PostingsReencoded int // postings written into fresh blocks across touched names
+}
+
+// ApplyDeltaStats is ApplyDelta reporting the re-encode scope alongside the
+// next index.
+func (ix *NameIndex) ApplyDeltaStats(
+	rn *core.Numbering,
+	relabeled map[string]map[core.ID]core.ID,
+	removed map[string]map[core.ID]bool,
+	inserted map[string][]core.ID,
+) (*NameIndex, DeltaStats, error) {
+	var st DeltaStats
 	if ix.ruid == nil {
-		return nil, ErrNotRUID
+		return nil, st, ErrNotRUID
 	}
 	out := &NameIndex{s: rn, ruid: rn, ruidByName: make(map[string]*PostingList, len(ix.ruidByName))}
 	for name, pl := range ix.ruidByName {
@@ -52,6 +75,7 @@ func (ix *NameIndex) ApplyDelta(
 	}
 	for name := range touched {
 		old := out.ruidByName[name]
+		st.NamesTouched++
 		rl := relabeled[name]
 		rm := removed[name]
 		ins := inserted[name]
@@ -83,8 +107,14 @@ func (ix *NameIndex) ApplyDelta(
 			delete(out.ruidByName, name)
 		} else {
 			out.ruidByName[name] = BuildPostingList(list)
+			st.PostingsReencoded += len(list)
+		}
+	}
+	for name := range ix.ruidByName {
+		if !touched[name] {
+			st.NamesShared++
 		}
 	}
 	out.assertSorted("ApplyDelta")
-	return out, nil
+	return out, st, nil
 }

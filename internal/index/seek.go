@@ -77,12 +77,40 @@ func (pr *Probe) admitAll(pl *PostingList) bool {
 // bounded (32 blocks = 4096 identifiers).
 const maxRunBlocks = 32
 
+// BlockStats counts what the skip table did for one kernel call: how many
+// blocks the skip test examined (Probes counts candidate evaluations,
+// including the re-test that ends a run), how many were decoded (Admitted),
+// how many were galloped over without decoding (Skipped), and how often the
+// dense admit-all shortcut bypassed the skip test entirely (AdmitAll, once
+// per kernel call). The fields are plain integers — the scratch is
+// per-worker — and internal/exec folds them into the observability registry
+// and the query trace after each shard.
+type BlockStats struct {
+	Probes   int64
+	Admitted int64
+	Skipped  int64
+	AdmitAll int64
+}
+
+// Add accumulates other into s.
+func (s *BlockStats) Add(other BlockStats) {
+	s.Probes += other.Probes
+	s.Admitted += other.Admitted
+	s.Skipped += other.Skipped
+	s.AdmitAll += other.AdmitAll
+}
+
 // BlockScratch is the reusable scratch of the block kernels — the decode
-// buffer and the skip test's ancestor-chain buffer; internal/exec pools
-// instances across shards. The zero value is ready.
+// buffer, the skip test's ancestor-chain buffer and the per-call block
+// statistics; internal/exec pools instances across shards. The zero value
+// is ready.
 type BlockScratch struct {
 	buf   []core.ID
 	chain []core.ID
+
+	// Stats accumulates across kernel calls until reset; exec drains it
+	// per shard.
+	Stats BlockStats
 }
 
 // forEachRun decodes maximal runs of consecutive candidate blocks in
@@ -90,14 +118,22 @@ type BlockScratch struct {
 // Blocks failing the candidate test are galloped over without decoding; a
 // nil candidate admits every block (the dense case, see Probe.admitAll).
 func forEachRun(pl *PostingList, lo, hi int, candidate func(sk *Skip) bool, bs *BlockScratch, fn func(firstBlock int, ids []core.ID)) {
+	if candidate == nil {
+		bs.Stats.AdmitAll++
+	}
+	probe := func(b int) bool {
+		bs.Stats.Probes++
+		return candidate(&pl.skips[b])
+	}
 	i := lo
 	for i < hi {
-		if candidate != nil && !candidate(&pl.skips[i]) {
+		if candidate != nil && !probe(i) {
+			bs.Stats.Skipped++
 			i++
 			continue
 		}
 		j := i + 1
-		for j < hi && j-i < maxRunBlocks && (candidate == nil || candidate(&pl.skips[j])) {
+		for j < hi && j-i < maxRunBlocks && (candidate == nil || probe(j)) {
 			j++
 		}
 		ids := bs.buf[:0]
@@ -105,6 +141,7 @@ func forEachRun(pl *PostingList, lo, hi int, candidate func(sk *Skip) bool, bs *
 			ids = pl.AppendBlock(b, ids)
 		}
 		bs.buf = ids
+		bs.Stats.Admitted += int64(j - i)
 		fn(i, ids)
 		i = j
 	}

@@ -1,0 +1,345 @@
+// Package obs is the runtime observability layer: a low-overhead metric
+// registry (atomic counters, gauges, bounded power-of-two histograms), a
+// per-query execution Trace feeding the EXPLAIN ANALYZE renderer, and an
+// optional expvar+pprof HTTP endpoint (serve.go).
+//
+// Two properties drive the design:
+//
+//   - Allocation-free hot paths. Components resolve metric pointers once at
+//     construction and hold them; recording is one atomic add. Every metric
+//     and trace method is nil-safe — a nil *Counter, *Histogram, *Trace or
+//     *Span no-ops — so "observation off" costs a single nil check and the
+//     instrumented code needs no branches of its own.
+//   - Counters are atomics, not mutex-guarded maps. The identifier kernels
+//     record from concurrent shard workers; a shared mutex would serialize
+//     exactly the code the executor exists to parallelize, while an
+//     uncontended atomic add costs a few nanoseconds and scales. The
+//     registry's map is touched only at resolve time (registration), never
+//     per observation.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready;
+// all methods are nil-safe no-ops so disabled instrumentation costs one
+// branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. The zero value is ready; all
+// methods are nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the fixed bucket count of every Histogram. Bucket b holds
+// the values of bit length b — [2^(b-1), 2^b) — with bucket 0 holding zero
+// and the last bucket absorbing everything of bit length ≥ HistBuckets-1,
+// so the histogram is bounded whatever is observed. 48 buckets cover both
+// latencies (2^47 ns ≈ 39 hours) and size classes.
+const HistBuckets = 48
+
+// Histogram is a bounded power-of-two histogram: Observe is one atomic add
+// into a fixed bucket array, so concurrent observation never allocates and
+// never takes a lock. Quantiles are therefore approximate (upper bound of
+// the holding bucket) — precise enough to find where time goes, cheap
+// enough to leave on in production.
+type Histogram struct {
+	counts [HistBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// histBucket returns the bucket index for v.
+func histBucket(v uint64) int {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucket(uint64(v))].Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// Count returns the number of observations (0 on nil). Concurrent with
+// Observe the result is a consistent-enough snapshot, not an instant.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of every observed value (0 on nil).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// largest value of the bucket the quantile falls in. With no observations
+// it returns 0.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for b := 0; b < HistBuckets; b++ {
+		seen += h.counts[b].Load()
+		if seen > rank {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(HistBuckets - 1)
+}
+
+// bucketUpper is the largest value bucket b holds (the last bucket is
+// unbounded and reports its lower bound instead).
+func bucketUpper(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= HistBuckets-1 {
+		return 1 << (HistBuckets - 2) // lower bound of the overflow bucket
+	}
+	return 1<<uint(b) - 1
+}
+
+// HistogramSummary is one histogram rendered for snapshots.
+type HistogramSummary struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	P50   uint64 `json:"p50"`
+	P90   uint64 `json:"p90"`
+	P99   uint64 `json:"p99"`
+}
+
+// Summary returns the snapshot form (zero on nil).
+func (h *Histogram) Summary() HistogramSummary {
+	if h == nil {
+		return HistogramSummary{}
+	}
+	return HistogramSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Registry is a named collection of metrics. Get-or-create resolution
+// (Counter, Gauge, Histogram, RegisterFunc) takes a mutex and is meant for
+// construction time; the returned pointers are then recorded through
+// lock-free. A nil *Registry resolves every metric to nil — the no-op
+// registry — so "observation off" is the nil pointer, not a parallel
+// implementation.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use (nil on a
+// nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterFunc registers a derived gauge read at snapshot time — process-
+// wide statistics (pool hit rates, runtime numbers) that are maintained
+// elsewhere. The first registration of a name wins; a nil registry or nil
+// f is a no-op.
+func (r *Registry) RegisterFunc(name string, f func() int64) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[name]; !ok {
+		r.funcs[name] = f
+	}
+}
+
+// Snapshot returns every metric's current value keyed by name, suitable for
+// JSON/expvar export. Histograms appear as HistogramSummary. A nil registry
+// returns an empty map.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, f := range r.funcs {
+		out[name] = f()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Summary()
+	}
+	return out
+}
+
+// WriteText renders every metric as one sorted "name value" line — the
+// xq -stats dump. Histograms render count, sum and quantile bounds.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+	}
+	for name, f := range r.funcs {
+		lines = append(lines, fmt.Sprintf("%s %d", name, f()))
+	}
+	for name, h := range r.hists {
+		s := h.Summary()
+		lines = append(lines, fmt.Sprintf("%s count=%d sum=%d p50≤%d p90≤%d p99≤%d",
+			name, s.Count, s.Sum, s.P50, s.P90, s.P99))
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}

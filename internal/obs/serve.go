@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// HTTP surfacing of a Registry: Go-standard expvar under /debug/vars (the
+// registry is published there as "ruid"), the pprof profiler family under
+// /debug/pprof/, a plain-text dump under /metrics and a JSON snapshot under
+// /metrics.json. Serve is optional equipment — nothing in the engine
+// depends on it — so a serving process opts in with one call and a CLI run
+// never pays for an HTTP stack.
+
+var (
+	publishedRegistry atomic.Pointer[Registry]
+	expvarOnce        sync.Once
+)
+
+// publishExpvar exposes reg through the process-global expvar namespace
+// under the key "ruid". expvar registration is global and permanent, so the
+// Func indirects through an atomic pointer: the most recently served
+// registry wins.
+func publishExpvar(reg *Registry) {
+	publishedRegistry.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("ruid", expvar.Func(func() any {
+			return publishedRegistry.Load().Snapshot()
+		}))
+	})
+}
+
+// Handler returns the observability mux for reg: /debug/vars, /debug/pprof/,
+// /metrics (text) and /metrics.json.
+func Handler(reg *Registry) http.Handler {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (":0" picks a free port)
+// and returns immediately; requests are served on a background goroutine
+// until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(l) }()
+	return &Server{l: l, srv: srv}, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("exec.ops").Add(3)
+	reg.Histogram("exec.op_ns").Observe(1500)
+	h := Handler(reg)
+
+	code, body := get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, "exec.ops 3") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	if !strings.Contains(body, "exec.op_ns count=1") {
+		t.Errorf("/metrics missing histogram: %q", body)
+	}
+
+	code, body = get(t, h, "/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json: %d", code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
+	}
+	if snap["exec.ops"] != float64(3) {
+		t.Errorf("json exec.ops = %v", snap["exec.ops"])
+	}
+
+	code, body = get(t, h, "/debug/vars")
+	if code != 200 || !strings.Contains(body, `"ruid"`) {
+		t.Fatalf("/debug/vars: %d (registry not published)", code)
+	}
+
+	code, _ = get(t, h, "/debug/pprof/")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("doc.queries").Inc()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "doc.queries 1") {
+		t.Fatalf("served metrics: %q", body)
+	}
+}

@@ -12,11 +12,13 @@ package query
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataguide"
 	"repro/internal/exec"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/scheme"
 	"repro/internal/twig"
 	"repro/internal/xmltree"
@@ -66,7 +68,10 @@ type Plan struct {
 	JoinCst float64      // estimated cost of the identifier plan (join or twig)
 }
 
-// Explain renders the plan decision for logs and tests.
+// Explain renders the plan decision for logs and tests: the chosen strategy
+// with both cost estimates, and — when an identifier plan compiled but lost
+// the cost comparison — the rejected alternative, so a plan choice is always
+// auditable from its one-line rendering.
 func (p Plan) Explain() string {
 	switch p.Kind {
 	case JoinPlan:
@@ -74,7 +79,14 @@ func (p Plan) Explain() string {
 	case TwigPlan:
 		return fmt.Sprintf("twig match (est %.0f vs nav %.0f): %s", p.JoinCst, p.NavCost, p.pattern)
 	default:
-		return fmt.Sprintf("navigation (est %.0f)", p.NavCost)
+		switch {
+		case p.chain != nil:
+			return fmt.Sprintf("navigation (est %.0f; rejected join pipeline est %.0f: %v)", p.NavCost, p.JoinCst, p.chain)
+		case p.pattern != nil:
+			return fmt.Sprintf("navigation (est %.0f; rejected twig match est %.0f: %s)", p.NavCost, p.JoinCst, p.pattern)
+		default:
+			return fmt.Sprintf("navigation (est %.0f; no identifier plan applies)", p.NavCost)
+		}
 	}
 }
 
@@ -86,9 +98,40 @@ type Planner struct {
 	guide  *dataguide.Guide
 	engine *xpath.Engine
 	exec   *exec.Executor
+	m      *plannerMetrics
 
 	nodes     int
 	meanDepth float64
+}
+
+// plannerMetrics holds the registry pointers the planner records into,
+// resolved once by SetObserver (nil when unobserved).
+type plannerMetrics struct {
+	queries     *obs.Counter
+	planNav     *obs.Counter
+	planJoin    *obs.Counter
+	planTwig    *obs.Counter
+	guidePruned *obs.Counter
+	queryNS     *obs.Histogram
+	results     *obs.Histogram
+}
+
+// SetObserver points the planner's query metrics at r (nil detaches). The
+// executor's own metrics are configured separately through exec.Config.
+func (p *Planner) SetObserver(r *obs.Registry) {
+	if r == nil {
+		p.m = nil
+		return
+	}
+	p.m = &plannerMetrics{
+		queries:     r.Counter("query.count"),
+		planNav:     r.Counter("query.plan_nav"),
+		planJoin:    r.Counter("query.plan_join"),
+		planTwig:    r.Counter("query.plan_twig"),
+		guidePruned: r.Counter("query.guide_pruned"),
+		queryNS:     r.Histogram("query.query_ns"),
+		results:     r.Histogram("query.results"),
+	}
 }
 
 // New builds a planner over doc numbered by s (which must also provide the
@@ -277,18 +320,64 @@ func compileChain(path xpath.Path) ([]step, bool) {
 // Run plans and executes the query, returning the result node-set in
 // document order together with the plan used.
 func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
+	return p.RunTraced(q, nil)
+}
+
+// RunTraced is Run recording per-stage execution spans into tr — the
+// EXPLAIN ANALYZE entry point. A nil trace is the untraced fast path: no
+// span, note, or attribute is materialized. The trace is finished (plan
+// recorded, total frozen) before returning, ready to Render.
+func (p *Planner) RunTraced(q string, tr *obs.Trace) ([]*xmltree.Node, Plan, error) {
+	var start time.Time
+	if p.m != nil {
+		start = time.Now()
+	}
+	nodes, plan, err := p.execute(q, tr)
+	if err != nil {
+		tr.Notef("error: %v", err)
+		tr.Finish()
+		return nodes, plan, err
+	}
+	tr.SetPlan(plan.Kind.String(), plan.Explain())
+	tr.Finish()
+	if p.m != nil {
+		p.m.queries.Inc()
+		switch plan.Kind {
+		case JoinPlan:
+			p.m.planJoin.Inc()
+		case TwigPlan:
+			p.m.planTwig.Inc()
+		default:
+			p.m.planNav.Inc()
+		}
+		p.m.queryNS.Observe(time.Since(start).Nanoseconds())
+		p.m.results.Observe(int64(len(nodes)))
+	}
+	return nodes, plan, err
+}
+
+func (p *Planner) execute(q string, tr *obs.Trace) ([]*xmltree.Node, Plan, error) {
+	sp := tr.StartSpan("plan")
 	plan, err := p.Plan(q)
+	sp.End()
 	if err != nil {
 		return nil, Plan{}, err
 	}
 	if plan.Kind == NavPlan {
+		sp := tr.StartSpan("navigate")
 		nodes, err := p.engine.Query(q)
+		sp.SetInt("out", int64(len(nodes)))
+		sp.End()
 		return nodes, plan, err
 	}
 	// DataGuide pruning: a name chain absent from every label path cannot
 	// match; refuse it before running any join (§6 [4]: the guide lets
 	// "users perform meaningful and valid queries").
 	if !p.guide.HasChain(plan.spineNames()...) {
+		if p.m != nil {
+			p.m.guidePruned.Inc()
+		}
+		tr.Notef("dataguide: chain %v unsatisfiable, pruned without execution", plan.spineNames())
 		return nil, plan, nil
 	}
 	// Unboxed fast path: over a ruid-backed index the whole pipeline (twig
@@ -297,18 +386,31 @@ func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
 	if rn := p.ix.RUID(); rn != nil {
 		var ids []core.ID
 		if plan.Kind == TwigPlan {
-			ids, _ = twig.MatchIDsWith(plan.pattern, p.ix, p.exec)
+			var sp *obs.Span
+			ex := p.exec
+			if tr != nil {
+				sp = tr.StartSpan("twig_match " + plan.pattern.String())
+				ex = ex.WithSpan(sp)
+			}
+			ids, _ = twig.MatchIDsWith(plan.pattern, p.ix, ex)
+			sp.SetInt("out", int64(len(ids)))
+			sp.End()
 		} else {
-			ids = p.runChainRUID(rn, plan.chain)
+			ids = p.runChainRUID(rn, plan.chain, tr)
 		}
+		sp := tr.StartSpan("resolve")
 		nodes := make([]*xmltree.Node, 0, len(ids))
 		for _, id := range ids {
 			if n, ok := rn.NodeOfID(id); ok {
 				nodes = append(nodes, n)
 			}
 		}
+		sp.SetInt("ids", int64(len(ids)))
+		sp.SetInt("out", int64(len(nodes)))
+		sp.End()
 		return nodes, plan, nil
 	}
+	sp = tr.StartSpan("boxed_pipeline")
 	var ids []scheme.ID
 	if plan.Kind == TwigPlan {
 		ids = twig.Match(plan.pattern, p.ix)
@@ -321,6 +423,8 @@ func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
 			nodes = append(nodes, n)
 		}
 	}
+	sp.SetInt("out", int64(len(nodes)))
+	sp.End()
 	return nodes, plan, nil
 }
 
@@ -328,8 +432,12 @@ func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
 // identifiers — the allocation-free counterpart of runChain. The first
 // step's postings stay in their block-compressed view; every descendant
 // side of the pipeline is likewise consumed as a Postings view, so only
-// candidate blocks are ever decoded.
-func (p *Planner) runChainRUID(rn *core.Numbering, chain []step) []core.ID {
+// candidate blocks are ever decoded. With a live trace, every pipeline
+// stage gets its own span carrying input/output cardinalities, and the
+// stage's executor operation records its shard layout and block statistics
+// into that span; the tr == nil checks keep the untraced path free of the
+// span-name allocations.
+func (p *Planner) runChainRUID(rn *core.Numbering, chain []step, tr *obs.Trace) []core.ID {
 	first := chain[0]
 	cur := p.ix.Postings(first.name)
 	if !first.descendant {
@@ -346,15 +454,42 @@ func (p *Planner) runChainRUID(rn *core.Numbering, chain []step) []core.ID {
 		}
 		cur = index.SlicePostings(anchored)
 	}
+	if tr != nil {
+		pre := "/"
+		if first.descendant {
+			pre = "//"
+		}
+		sp := tr.StartSpan("seed " + pre + first.name)
+		sp.SetInt("out", int64(cur.Len()))
+		sp.End()
+	}
 	for _, st := range chain[1:] {
 		if cur.Len() == 0 {
+			tr.Notef("pipeline short-circuit: empty intermediate result before %s", st.name)
 			return nil
 		}
-		if st.descendant {
-			cur = index.SlicePostings(p.exec.UpwardSemiJoin(rn, cur, p.ix.Postings(st.name)))
-		} else {
-			cur = index.SlicePostings(p.exec.ParentSemiJoin(rn, cur, p.ix.Postings(st.name)))
+		descs := p.ix.Postings(st.name)
+		ex := p.exec
+		var sp *obs.Span
+		if tr != nil {
+			op, pre := "upward_semi_join", "//"
+			if !st.descendant {
+				op, pre = "parent_semi_join", "/"
+			}
+			sp = tr.StartSpan(pre + st.name + " " + op)
+			sp.SetInt("ancs", int64(cur.Len()))
+			sp.SetInt("descs", int64(descs.Len()))
+			ex = ex.WithSpan(sp)
 		}
+		var next []core.ID
+		if st.descendant {
+			next = ex.UpwardSemiJoin(rn, cur, descs)
+		} else {
+			next = ex.ParentSemiJoin(rn, cur, descs)
+		}
+		sp.SetInt("out", int64(len(next)))
+		sp.End()
+		cur = index.SlicePostings(next)
 	}
 	return cur.Materialize()
 }

@@ -19,6 +19,8 @@ package storage
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // PageSize is the size of one simulated disk page in bytes.
@@ -54,10 +56,31 @@ type Pager struct {
 	disk  [][]byte // the "disk": page id -> page image
 	stats IOStats
 
+	// Mirrors of the IOStats counters in an observability registry, nil
+	// unless SetObserver attached one (all *obs.Counter methods are
+	// nil-safe). They witness at runtime what the paper argues analytically:
+	// RParent-based parent computation issues zero page reads.
+	obsReads  *obs.Counter
+	obsWrites *obs.Counter
+	obsHits   *obs.Counter
+
 	capacity int
 	frames   map[int32]*frame
 	clock    []*frame
 	hand     int
+}
+
+// SetObserver mirrors the pager's I/O accounting into r as the counters
+// storage.page_reads, storage.page_writes and storage.cache_hits. A nil
+// registry detaches.
+func (p *Pager) SetObserver(r *obs.Registry) {
+	if r == nil {
+		p.obsReads, p.obsWrites, p.obsHits = nil, nil, nil
+		return
+	}
+	p.obsReads = r.Counter("storage.page_reads")
+	p.obsWrites = r.Counter("storage.page_writes")
+	p.obsHits = r.Counter("storage.cache_hits")
 }
 
 type frame struct {
@@ -122,10 +145,12 @@ func (p *Pager) fetch(id int32) (*frame, error) {
 	}
 	if f, ok := p.frames[id]; ok {
 		p.stats.CacheHits++
+		p.obsHits.Inc()
 		f.refbit = true
 		return f, nil
 	}
 	p.stats.Reads++
+	p.obsReads.Inc()
 	f := &frame{id: id, data: make([]byte, PageSize), refbit: true}
 	copy(f.data, p.disk[id])
 	if len(p.frames) >= p.capacity {
@@ -152,6 +177,7 @@ func (p *Pager) evict() {
 		if f.dirty {
 			copy(p.disk[f.id], f.data)
 			p.stats.Writes++
+			p.obsWrites.Inc()
 		}
 		delete(p.frames, f.id)
 		p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
@@ -165,6 +191,7 @@ func (p *Pager) Flush() {
 		if f.dirty {
 			copy(p.disk[f.id], f.data)
 			p.stats.Writes++
+			p.obsWrites.Inc()
 			f.dirty = false
 		}
 	}
