@@ -812,3 +812,31 @@ func BenchmarkParallelJoins(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSchemeJoin is the bake-off's structural-join leg as a go-test
+// benchmark: every registered numbering scheme runs the same section//title
+// semi-join on the same recursion-heavy document through the planner's
+// capability-dispatched kernel (Parent-climbing for the UID family,
+// comparison-only merge otherwise). Importing internal/document registers
+// every in-tree scheme.
+func BenchmarkSchemeJoin(b *testing.B) {
+	doc := xmltree.Recursive(2, 9)
+	for _, name := range scheme.Names() {
+		reg, ok := scheme.Lookup(name)
+		if !ok {
+			continue
+		}
+		s, err := reg.Build(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix := index.Build(doc.DocumentElement(), s)
+		ancs, descs := ix.IDs("section"), ix.IDs("title")
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink += len(index.SemiJoinDescendants(s, ancs, descs))
+			}
+		})
+	}
+}

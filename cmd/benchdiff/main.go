@@ -9,11 +9,14 @@
 // the current run is REMOVED (renamed or dropped from the harness) and one
 // missing from the baseline is ADDED (the baseline needs regenerating) —
 // both fail the gate, so the committed baseline always covers exactly the
-// harness's benchmark set.
+// harness's benchmark set. -allow-added downgrades ADDED to informational
+// for the PR that introduces new benchmarks: the rows still render, but
+// only regressions and removals fail, so a harness extension does not need
+// a same-commit baseline regeneration on the CI host.
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_baseline.json -current out.json [-max-regress 0.25]
+//	benchdiff -baseline BENCH_baseline.json -current out.json [-max-regress 0.25] [-allow-added]
 package main
 
 import (
@@ -78,8 +81,8 @@ type diffRow struct {
 // reports whether the gate fails: a regression beyond maxRegress, a
 // required or baseline benchmark missing from current (REMOVED), or a
 // current benchmark absent from the baseline (ADDED — the baseline file is
-// stale).
-func compare(baseline, current map[string]result, maxRegress float64) ([]diffRow, bool) {
+// stale; allowAdded renders the row without failing).
+func compare(baseline, current map[string]result, maxRegress float64, allowAdded bool) ([]diffRow, bool) {
 	var out []diffRow
 	failed := false
 	for _, required := range requiredBenches {
@@ -108,7 +111,9 @@ func compare(baseline, current map[string]result, maxRegress float64) ([]diffRow
 			failed = true
 		case !inBase:
 			row.status = statusAdded
-			failed = true
+			if !allowAdded {
+				failed = true
+			}
 		case cur.NsPerOp > base.NsPerOp*(1+maxRegress):
 			row.status = statusRegress
 			failed = true
@@ -170,8 +175,8 @@ func renderMarkdown(w io.Writer, rows []diffRow) {
 }
 
 // diff writes the text comparison to w and reports whether the gate fails.
-func diff(w io.Writer, baseline, current map[string]result, maxRegress float64) bool {
-	rows, failed := compare(baseline, current, maxRegress)
+func diff(w io.Writer, baseline, current map[string]result, maxRegress float64, allowAdded bool) bool {
+	rows, failed := compare(baseline, current, maxRegress, allowAdded)
 	renderText(w, rows)
 	return failed
 }
@@ -180,6 +185,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
 	currentPath := flag.String("current", "", "fresh ruidbench -json output to check")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed ns/op regression ratio (0.25 = +25%)")
+	allowAdded := flag.Bool("allow-added", false, "report benchmarks missing from the baseline without failing the gate")
 	markdown := flag.Bool("markdown", false, "emit the comparison as a GitHub-flavored markdown table")
 	flag.Parse()
 	if *currentPath == "" {
@@ -198,7 +204,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	rows, failed := compare(baseline, current, *maxRegress)
+	rows, failed := compare(baseline, current, *maxRegress, *allowAdded)
 	if *markdown {
 		renderMarkdown(os.Stdout, rows)
 	} else {

@@ -27,7 +27,7 @@ func TestDiffPasses(t *testing.T) {
 	base := rows(withRequired(map[string]float64{"join/a": 100}))
 	cur := rows(withRequired(map[string]float64{"join/a": 110}))
 	var sb strings.Builder
-	if diff(&sb, base, cur, 0.25) {
+	if diff(&sb, base, cur, 0.25, false) {
 		t.Fatalf("within-threshold run failed:\n%s", sb.String())
 	}
 	if !strings.Contains(sb.String(), "ok") {
@@ -39,7 +39,7 @@ func TestDiffRegression(t *testing.T) {
 	base := rows(withRequired(map[string]float64{"join/a": 100}))
 	cur := rows(withRequired(map[string]float64{"join/a": 200}))
 	var sb strings.Builder
-	if !diff(&sb, base, cur, 0.25) {
+	if !diff(&sb, base, cur, 0.25, false) {
 		t.Fatal("2x regression passed")
 	}
 	if !strings.Contains(sb.String(), "REGRESS join/a") {
@@ -53,7 +53,7 @@ func TestDiffAddedBenchmark(t *testing.T) {
 	base := rows(withRequired(map[string]float64{}))
 	cur := rows(withRequired(map[string]float64{"parallel/new": 50}))
 	var sb strings.Builder
-	if !diff(&sb, base, cur, 0.25) {
+	if !diff(&sb, base, cur, 0.25, false) {
 		t.Fatal("added benchmark passed the gate")
 	}
 	if !strings.Contains(sb.String(), "ADDED   parallel/new") {
@@ -70,7 +70,7 @@ func TestDiffRemovedBenchmark(t *testing.T) {
 	base := rows(withRequired(map[string]float64{"join/gone": 100}))
 	cur := rows(withRequired(map[string]float64{}))
 	var sb strings.Builder
-	if !diff(&sb, base, cur, 0.25) {
+	if !diff(&sb, base, cur, 0.25, false) {
 		t.Fatal("removed benchmark passed the gate")
 	}
 	if !strings.Contains(sb.String(), "REMOVED join/gone") {
@@ -84,7 +84,7 @@ func TestDiffRequiredMissing(t *testing.T) {
 	base := rows(map[string]float64{"join/a": 100})
 	cur := rows(map[string]float64{"join/a": 100})
 	var sb strings.Builder
-	if !diff(&sb, base, cur, 0.25) {
+	if !diff(&sb, base, cur, 0.25, false) {
 		t.Fatal("run without required benches passed")
 	}
 	if !strings.Contains(sb.String(), "REQUIRED") {
@@ -98,7 +98,7 @@ func TestMarkdownRender(t *testing.T) {
 	base := rows(withRequired(map[string]float64{"join/a": 100, "join/gone": 50}))
 	cur := rows(withRequired(map[string]float64{"join/a": 200, "parallel/new": 10}))
 	delete(cur, "join/gone")
-	diffRows, failed := compare(base, cur, 0.25)
+	diffRows, failed := compare(base, cur, 0.25, false)
 	if !failed {
 		t.Fatal("regression + added + removed passed the gate")
 	}
@@ -118,5 +118,24 @@ func TestMarkdownRender(t *testing.T) {
 	}
 	if strings.Contains(out, "REQUIRED") {
 		t.Fatalf("REQUIRED row present despite required benches existing:\n%s", out)
+	}
+}
+
+// TestDiffAddedAllowed: -allow-added renders ADDED rows without failing the
+// gate, while regressions still fail under the same flag.
+func TestDiffAddedAllowed(t *testing.T) {
+	base := rows(withRequired(map[string]float64{"join/a": 100}))
+	cur := rows(withRequired(map[string]float64{"join/a": 105, "scheme/new/row": 50}))
+	var sb strings.Builder
+	if diff(&sb, base, cur, 0.25, true) {
+		t.Fatalf("added benchmark failed the gate despite -allow-added:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "ADDED   scheme/new/row") {
+		t.Fatalf("report lacks ADDED line:\n%s", sb.String())
+	}
+	cur = rows(withRequired(map[string]float64{"join/a": 200, "scheme/new/row": 50}))
+	sb.Reset()
+	if !diff(&sb, base, cur, 0.25, true) {
+		t.Fatal("2x regression passed under -allow-added")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/obs"
+	"repro/internal/scheme"
 	"repro/internal/twig"
 	"repro/internal/workload"
 	"repro/internal/xmltree"
@@ -344,6 +345,105 @@ func obsBenches() []struct {
 	return out
 }
 
+// schemeFamilies are the bake-off corpora: one document per shape family
+// the paper's experiments vary over, with a representative ancestor →
+// descendant join for each.
+var schemeFamilies = []struct {
+	family    string
+	build     func() *xmltree.Node
+	anc, desc string
+}{
+	// Recursion-heavy narrow tree (§5 observation 1): sections in sections.
+	{"recursive", func() *xmltree.Node { return xmltree.Recursive(2, 8) }, "section", "title"},
+	// Bushy auction-site document with text payloads.
+	{"xmark", func() *xmltree.Node { return xmltree.XMark(2, 7) }, "item", "name"},
+	// One wide node over a narrow spine: the original UID's worst case.
+	{"skewed", func() *xmltree.Node { return xmltree.Skewed(24, 2, 10) }, "wide", "deep9"},
+}
+
+// schemeBenches builds the scheme bake-off: for every registered numbering
+// scheme × shape family, a structural semi-join row and a parent-step row
+// (timed), plus pseudo-rows carrying label footprint and update relabel
+// scope. Every scheme runs through the same capability-dispatched kernels
+// the planner uses (index.SemiJoinDescendants), so a row measures what a
+// query would actually pay under that scheme.
+func schemeBenches() (benches []struct {
+	name string
+	fn   func(b *testing.B)
+}, rows []microResult) {
+	add := func(name string, fn func(b *testing.B)) {
+		benches = append(benches, struct {
+			name string
+			fn   func(b *testing.B)
+		}{name, fn})
+	}
+	for _, name := range scheme.Names() {
+		reg, ok := scheme.Lookup(name)
+		if !ok {
+			continue
+		}
+		for _, f := range schemeFamilies {
+			doc := f.build()
+			s, err := reg.Build(doc)
+			if err != nil {
+				panic(fmt.Sprintf("scheme %s on %s: %v", name, f.family, err))
+			}
+			root := doc.DocumentElement()
+			var ids []scheme.ID
+			root.Walk(func(x *xmltree.Node) bool {
+				if id, ok := s.IDOf(x); ok {
+					ids = append(ids, id)
+				}
+				return true
+			})
+			prefix := fmt.Sprintf("scheme/%s/%s/", name, f.family)
+			rows = append(rows, microResult{
+				Name:       prefix + "label_bytes_per_node",
+				Iterations: 1,
+				NsPerOp:    float64(scheme.LabelBytes(s, ids)) / float64(len(ids)),
+			})
+			ix := index.Build(root, s)
+			ancs, descs := ix.IDs(f.anc), ix.IDs(f.desc)
+			add(prefix+"semi_join", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					microSink += len(index.SemiJoinDescendants(s, ancs, descs))
+				}
+			})
+			add(prefix+"axis_parent", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if p, ok := s.Parent(ids[i%len(ids)]); ok {
+						microSink += len(p.Key())
+					}
+				}
+			})
+			// Update relabel scope: a worst-position insert (new first child
+			// of the root element) on a fresh build; the row carries the
+			// number of pre-existing identifiers the scheme had to change.
+			if scheme.CapsOf(s).Update {
+				fresh := f.build()
+				fs, err := reg.Build(fresh)
+				if err != nil {
+					panic(err)
+				}
+				upd, ok := fs.(scheme.Updatable)
+				if !ok {
+					continue
+				}
+				st, err := upd.InsertChild(fresh.DocumentElement(), 0, xmltree.NewElement("zz"))
+				if err != nil {
+					panic(fmt.Sprintf("scheme %s on %s: insert: %v", name, f.family, err))
+				}
+				rows = append(rows, microResult{
+					Name:       prefix + "update_relabel",
+					Iterations: 1,
+					NsPerOp:    float64(st.Relabeled),
+				})
+			}
+		}
+	}
+	return benches, rows
+}
+
 // bytesPerPostingRows reports the resident compression of the
 // block-compressed postings as pseudo-benchmark rows: the value (carried in
 // ns_per_op, lower is better) is PostingsSizeBytes / PostingsCount on a
@@ -490,6 +590,8 @@ func runMicrobench(out io.Writer) error {
 	benches = append(benches, parallelBenches()...)
 	benches = append(benches, postingsBenches()...)
 	benches = append(benches, obsBenches()...)
+	schemeB, schemeRows := schemeBenches()
+	benches = append(benches, schemeB...)
 
 	results := make([]microResult, 0, len(benches)+1)
 	for _, bench := range benches {
@@ -506,6 +608,7 @@ func runMicrobench(out io.Writer) error {
 		})
 	}
 	results = append(results, bytesPerPostingRows()...)
+	results = append(results, schemeRows...)
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

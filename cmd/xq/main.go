@@ -33,6 +33,7 @@ import (
 	"repro/internal/document"
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/scheme"
 	"repro/internal/uid"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -41,6 +42,7 @@ import (
 // config carries the flag values into run.
 type config struct {
 	nav       string
+	scheme    string // -scheme: numbering scheme for the facade modes
 	area      int
 	serialize bool
 	explain   bool   // -explain-analyze: print the trace, not the results
@@ -53,6 +55,7 @@ type config struct {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.nav, "nav", "ruid", "navigator: ruid, uid, pointer or planner")
+	flag.StringVar(&cfg.scheme, "scheme", "", "numbering scheme for the facade modes (registry name or auto; default ruid)")
 	flag.IntVar(&cfg.area, "area", core.DefaultMaxAreaNodes, "ruid: max nodes per UID-local area")
 	flag.BoolVar(&cfg.serialize, "serialize", false, "print matched subtrees as XML instead of paths")
 	flag.BoolVar(&cfg.explain, "explain-analyze", false, "print the traced execution report (implies -nav planner)")
@@ -104,6 +107,7 @@ func run(cfg config, query, path string, out io.Writer) error {
 		return err
 	}
 	opts := document.Options{
+		Scheme:      cfg.scheme,
 		Partition:   core.PartitionConfig{MaxAreaNodes: cfg.area, AdjustFanout: true},
 		Parallel:    mode,
 		ExecWorkers: cfg.workers,
@@ -165,7 +169,14 @@ func run(cfg config, query, path string, out io.Writer) error {
 			return err
 		}
 		snap := d.Snapshot()
-		engine := xpath.NewEngine(snap.Tree(), xpath.SchemeNavigator{S: snap.Numbering()})
+		// Axis-generating schemes answer the query from identifiers alone;
+		// comparison-only schemes fall back to pointer navigation over the
+		// snapshot's immutable tree.
+		var navigator xpath.Navigator = xpath.PointerNavigator{}
+		if ax, ok := snap.Scheme().(scheme.AxisScheme); ok {
+			navigator = xpath.SchemeNavigator{S: ax}
+		}
+		engine := xpath.NewEngine(snap.Tree(), navigator)
 		results, err := engine.Query(query)
 		if err != nil {
 			return err

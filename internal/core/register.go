@@ -1,0 +1,18 @@
+package core
+
+import (
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+func init() {
+	scheme.Register(scheme.Registration{
+		Name: "ruid",
+		Caps: scheme.Capabilities{Axes: true, Update: true, ComputedParent: true},
+		Build: func(doc *xmltree.Node) (scheme.Scheme, error) {
+			return Build(doc, Options{
+				Partition: PartitionConfig{MaxAreaNodes: 64, AdjustFanout: true},
+			})
+		},
+	})
+}

@@ -58,6 +58,7 @@
 package document
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -77,6 +78,14 @@ import (
 
 // Options configure Open.
 type Options struct {
+	// Scheme names the numbering scheme for the document. "" and "ruid"
+	// select the paper's 2-level ruid with incremental area-confined epoch
+	// publication (the serving default). "auto" measures the tree's shape
+	// and lets scheme.Pick choose. Any other value resolves against the
+	// scheme registry (importing this package registers every in-tree
+	// scheme); non-ruid schemes publish full-clone epochs and support
+	// updates only when the scheme declares the Update capability.
+	Scheme string
 	// Partition controls UID-local area selection for the ruid numbering.
 	// Zero fields select serving-oriented defaults individually (area
 	// budget 64, §2.3 fan-out adjustment on); explicitly set fields are
@@ -124,6 +133,13 @@ type Document struct {
 	master *xmltree.Node // writer-private tree; never exposed to readers
 	num    *core.Numbering
 
+	// Generic-scheme mode (schemeName != "ruid"): num is nil, the master is
+	// numbered by gs (built by sreg.Build), and every publication is a full
+	// clone re-numbered through the registry constructor.
+	schemeName string
+	sreg       scheme.Registration
+	gs         scheme.Scheme
+
 	// m2e maps every live master node (attributes included) to its
 	// counterpart in the newest published epoch. Incremental publication
 	// resolves shared subtrees through it and re-points the entries of
@@ -146,10 +162,12 @@ type Document struct {
 // Successive epochs structurally share untouched subtrees; see the package
 // comment for the navigation invariant this implies.
 type Snapshot struct {
-	epoch   uint64
-	tree    *xmltree.Node
-	num     *core.Numbering
-	planner *query.Planner
+	epoch      uint64
+	tree       *xmltree.Node
+	num        *core.Numbering // nil when the document uses a non-ruid scheme
+	s          scheme.Scheme   // the epoch's numbering, whatever the scheme
+	schemeName string
+	planner    *query.Planner
 }
 
 // Open parses an XML document from r and numbers it.
@@ -174,27 +192,91 @@ func OpenString(src string, opts Options) (*Document, error) {
 // doc: the caller must not read or mutate it afterwards (readers work on
 // snapshot copies; writers on the master).
 func FromTree(doc *xmltree.Node, opts Options) (*Document, error) {
-	copts := opts.coreOptions()
-	num, err := core.Build(doc, copts)
+	name := opts.Scheme
+	if name == "" {
+		name = "ruid"
+	}
+	if name == "auto" {
+		name = scheme.Pick(xmltree.Measure(doc))
+	}
+	d := &Document{
+		opts:       opts.coreOptions(),
+		exec:       exec.New(exec.Config{Mode: opts.Parallel, Workers: opts.ExecWorkers, Observe: opts.Observe}),
+		reg:        opts.Observe,
+		dm:         newDocMetrics(opts.Observe),
+		master:     doc,
+		schemeName: name,
+	}
+	if name == "ruid" {
+		num, err := core.Build(doc, d.opts)
+		if err != nil {
+			return nil, err
+		}
+		d.num = num
+		num.Root().Walk(func(x *xmltree.Node) bool {
+			d.nodeCount++
+			d.depthSum += x.Depth()
+			return true
+		})
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d, d.publishFullLocked()
+	}
+	reg, ok := scheme.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("document: unknown scheme %q (registered: %v)", name, scheme.Names())
+	}
+	s, err := reg.Build(doc)
 	if err != nil {
 		return nil, err
 	}
-	d := &Document{
-		opts:   copts,
-		exec:   exec.New(exec.Config{Mode: opts.Parallel, Workers: opts.ExecWorkers, Observe: opts.Observe}),
-		reg:    opts.Observe,
-		dm:     newDocMetrics(opts.Observe),
-		master: doc,
-		num:    num,
+	d.sreg = reg
+	d.gs = s
+	root := doc
+	if doc.Kind == xmltree.Document {
+		root = doc.DocumentElement()
 	}
-	num.Root().Walk(func(x *xmltree.Node) bool {
-		d.nodeCount++
-		d.depthSum += x.Depth()
-		return true
-	})
+	if root != nil {
+		root.Walk(func(x *xmltree.Node) bool {
+			d.nodeCount++
+			d.depthSum += x.Depth()
+			return true
+		})
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d, d.publishFullLocked()
+	return d, d.publishGenericLocked()
+}
+
+// publishGenericLocked installs the next epoch in generic-scheme mode: the
+// master is fully cloned and the clone re-numbered through the registry
+// constructor, so the snapshot's scheme, index and planner are built over an
+// immutable tree the writer never touches again. There is no structural
+// sharing with the previous epoch — the trade documented in Options.Scheme.
+// Callers hold d.mu.
+func (d *Document) publishGenericLocked() error {
+	var start time.Time
+	if d.dm != nil {
+		start = time.Now()
+	}
+	tree, _ := d.master.CloneWithMap()
+	s, err := d.sreg.Build(tree)
+	if err != nil {
+		return err
+	}
+	d.epoch++
+	planner := query.New(tree, s)
+	planner.SetExecutor(d.exec)
+	planner.SetObserver(d.reg)
+	d.cur.Store(&Snapshot{
+		epoch:      d.epoch,
+		tree:       tree,
+		s:          s,
+		schemeName: d.schemeName,
+		planner:    planner,
+	})
+	d.noteEpochLocked(true, index.DeltaStats{}, time.Since(start))
+	return nil
 }
 
 // publishLocked installs the next epoch after a successful update. With an
@@ -242,10 +324,12 @@ func (d *Document) publishFullLocked() error {
 	planner.SetExecutor(d.exec)
 	planner.SetObserver(d.reg)
 	d.cur.Store(&Snapshot{
-		epoch:   d.epoch,
-		tree:    tree,
-		num:     num,
-		planner: planner,
+		epoch:      d.epoch,
+		tree:       tree,
+		num:        num,
+		s:          num,
+		schemeName: "ruid",
+		planner:    planner,
 	})
 	d.noteEpochLocked(true, index.DeltaStats{}, time.Since(start))
 	return nil
@@ -282,9 +366,11 @@ func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta) (*Snap
 	planner.SetExecutor(d.exec)
 	planner.SetObserver(d.reg)
 	return &Snapshot{
-		tree:    tree,
-		num:     num,
-		planner: planner,
+		tree:       tree,
+		num:        num,
+		s:          num,
+		schemeName: "ruid",
+		planner:    planner,
 	}, st, nil
 }
 
@@ -380,6 +466,20 @@ func (d *Document) Insert(parentPath string, pos int, child *xmltree.Node) (sche
 	if err != nil {
 		return scheme.UpdateStats{}, err
 	}
+	if d.num == nil {
+		upd, ok := d.gs.(scheme.Updatable)
+		if !ok {
+			return scheme.UpdateStats{}, fmt.Errorf("%w: scheme %q", ErrReadOnlyScheme, d.schemeName)
+		}
+		st, err := upd.InsertChild(parent, pos, child)
+		if err != nil {
+			return st, err
+		}
+		count, depths := subtreeStats(child, parent.Depth()+1)
+		d.nodeCount += count
+		d.depthSum += depths
+		return st, d.publishGenericLocked()
+	}
 	st, delta, err := d.num.InsertChildDelta(parent, pos, child)
 	if err != nil {
 		return st, err
@@ -399,6 +499,24 @@ func (d *Document) Delete(parentPath string, pos int) (scheme.UpdateStats, error
 	parent, err := d.findOneLocked(parentPath)
 	if err != nil {
 		return scheme.UpdateStats{}, err
+	}
+	if d.num == nil {
+		upd, ok := d.gs.(scheme.Updatable)
+		if !ok {
+			return scheme.UpdateStats{}, fmt.Errorf("%w: scheme %q", ErrReadOnlyScheme, d.schemeName)
+		}
+		if pos < 0 || pos >= len(parent.Children) {
+			return scheme.UpdateStats{}, fmt.Errorf("document: delete position %d out of range", pos)
+		}
+		removed := parent.Children[pos]
+		st, err := upd.DeleteChild(parent, pos)
+		if err != nil {
+			return st, err
+		}
+		count, depths := subtreeStats(removed, parent.Depth()+1)
+		d.nodeCount -= count
+		d.depthSum -= depths
+		return st, d.publishGenericLocked()
 	}
 	st, delta, err := d.num.DeleteChildDelta(parent, pos)
 	if err != nil {
@@ -439,25 +557,44 @@ func (d *Document) findOneLocked(path string) (*xmltree.Node, error) {
 	return nil, fmt.Errorf("document: no element matches %q", path)
 }
 
-// Stats summarizes the current epoch.
+// ErrReadOnlyScheme reports a structural update against a document whose
+// scheme does not declare the Update capability (e.g. the compact ancestry
+// labels, which trade updatability for label size). Test with errors.Is.
+var ErrReadOnlyScheme = errors.New("document: scheme is read-only")
+
+// Stats summarizes the current epoch. Areas and Kappa describe the ruid
+// area partition and are zero under any other scheme.
 type Stats struct {
-	Epoch int   // epochs published so far (1 = the initial one)
-	Nodes int   // numbered nodes
-	Areas int   // UID-local areas (rows of K)
-	Kappa int64 // frame fan-out κ
-	Names int   // distinct indexed element names
+	Epoch  int    // epochs published so far (1 = the initial one)
+	Scheme string // numbering scheme name
+	Nodes  int    // numbered nodes
+	Areas  int    // UID-local areas (rows of K); ruid only
+	Kappa  int64  // frame fan-out κ; ruid only
+	Names  int    // distinct indexed element names
 }
 
 // Stats returns a summary of the current epoch.
 func (d *Document) Stats() Stats {
 	s := d.Snapshot()
-	return Stats{
-		Epoch: int(s.epoch),
-		Nodes: s.num.Size(),
-		Areas: s.num.AreaCount(),
-		Kappa: s.num.Kappa(),
-		Names: len(s.Index().Names()),
+	st := Stats{
+		Epoch:  int(s.epoch),
+		Scheme: s.schemeName,
+		Names:  len(s.Index().Names()),
 	}
+	if s.num != nil {
+		st.Nodes = s.num.Size()
+		st.Areas = s.num.AreaCount()
+		st.Kappa = s.num.Kappa()
+		return st
+	}
+	root := s.tree
+	if root.Kind == xmltree.Document {
+		root = root.DocumentElement()
+	}
+	if root != nil {
+		root.Walk(func(*xmltree.Node) bool { st.Nodes++; return true })
+	}
+	return st
 }
 
 // Epoch returns the snapshot's epoch number (monotonically increasing per
@@ -471,8 +608,20 @@ func (s *Snapshot) Epoch() uint64 { return s.epoch }
 // the numbering instead.
 func (s *Snapshot) Tree() *xmltree.Node { return s.tree }
 
-// Numbering returns the snapshot's ruid numbering.
+// Numbering returns the snapshot's ruid numbering, or nil when the document
+// was opened with a non-ruid scheme (use Scheme for the general interface).
 func (s *Snapshot) Numbering() *core.Numbering { return s.num }
+
+// Scheme returns the snapshot's numbering through the scheme interface,
+// whatever concrete scheme the document was opened with.
+func (s *Snapshot) Scheme() scheme.Scheme { return s.s }
+
+// SchemeName returns the resolved name of the snapshot's numbering scheme
+// ("auto" resolves at Open; this reports the picked scheme).
+func (s *Snapshot) SchemeName() string { return s.schemeName }
+
+// SchemeName returns the resolved name of the document's numbering scheme.
+func (d *Document) SchemeName() string { return d.schemeName }
 
 // Index returns the snapshot's element-name index.
 func (s *Snapshot) Index() *index.NameIndex { return s.planner.Index() }

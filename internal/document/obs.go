@@ -64,8 +64,12 @@ func (d *Document) noteEpochLocked(full bool, st index.DeltaStats, dur time.Dura
 	}
 	s := d.cur.Load()
 	d.dm.epoch.Set(int64(s.epoch))
-	d.dm.nodes.Set(int64(s.num.Size()))
-	d.dm.areas.Set(int64(s.num.AreaCount()))
+	if s.num != nil {
+		d.dm.nodes.Set(int64(s.num.Size()))
+		d.dm.areas.Set(int64(s.num.AreaCount()))
+	} else {
+		d.dm.nodes.Set(int64(d.nodeCount))
+	}
 	d.dm.names.Set(int64(len(s.Index().Names())))
 	d.dm.postingsBytes.Set(int64(s.Index().PostingsSizeBytes()))
 	if full {

@@ -1,0 +1,12 @@
+package document
+
+// Importing the facade makes every in-tree numbering scheme resolvable by
+// name through Options.Scheme: each package below registers itself with the
+// scheme registry from its init. "ruid" rides along with the direct core
+// dependency.
+import (
+	_ "repro/internal/ancestry"
+	_ "repro/internal/nestedint"
+	_ "repro/internal/prepost"
+	_ "repro/internal/uid"
+)

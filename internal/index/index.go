@@ -350,7 +350,7 @@ func (ix *NameIndex) PathQuery(names ...string) []scheme.ID {
 	// vertical order.
 	cur := ix.IDs(names[0])
 	for step := 1; step < len(names); step++ {
-		cur = UpwardSemiJoin(ix.s, cur, ix.IDs(names[step]))
+		cur = SemiJoinDescendants(ix.s, cur, ix.IDs(names[step]))
 		if len(cur) == 0 {
 			return nil
 		}

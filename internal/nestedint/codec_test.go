@@ -1,0 +1,248 @@
+package nestedint
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func mustEncode(t *testing.T, path []uint32) (int64, int64) {
+	t.Helper()
+	num, den, err := EncodePath(path)
+	if err != nil {
+		t.Fatalf("EncodePath(%v): %v", path, err)
+	}
+	return num, den
+}
+
+func TestCodecRoundTripHandPicked(t *testing.T) {
+	cases := []struct {
+		path     []uint32
+		num, den int64
+	}{
+		{[]uint32{1}, 2, 1},
+		{[]uint32{2}, 3, 1},
+		{[]uint32{1, 1}, 3, 2},
+		{[]uint32{1, 2}, 4, 3},
+		{[]uint32{1, 1, 1}, 5, 3},
+		{[]uint32{2, 1, 3}, 14, 5}, // [2;1,4] = 2+1/(1+1/4)
+	}
+	for _, c := range cases {
+		num, den := mustEncode(t, c.path)
+		if num != c.num || den != c.den {
+			t.Errorf("EncodePath(%v) = %d/%d, want %d/%d", c.path, num, den, c.num, c.den)
+		}
+		back, err := DecodePath(num, den)
+		if err != nil {
+			t.Fatalf("DecodePath(%d/%d): %v", num, den, err)
+		}
+		if !equalPath(back, c.path) {
+			t.Errorf("DecodePath(%d/%d) = %v, want %v", num, den, back, c.path)
+		}
+	}
+}
+
+func TestDecodeRejectsNonCanonical(t *testing.T) {
+	bad := []struct{ num, den int64 }{
+		{0, 1}, {1, 0}, {-3, 2}, {3, -2}, // non-positive parts
+		{1, 1}, {1, 2}, // value ≤ 1: no path encodes it
+		{6, 4}, // not reduced
+	}
+	for _, c := range bad {
+		if _, err := DecodePath(c.num, c.den); !errors.Is(err, ErrMalformed) {
+			t.Errorf("DecodePath(%d/%d) err = %v, want ErrMalformed", c.num, c.den, err)
+		}
+	}
+}
+
+func TestEncodeOverflowIsSentinel(t *testing.T) {
+	// A long chain of first children grows labels like Fibonacci numbers;
+	// by depth 120 the numerator is far past int64.
+	deep := make([]uint32, 120)
+	for i := range deep {
+		deep[i] = 1
+	}
+	if _, _, err := EncodePath(deep); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("deep chain err = %v, want ErrOverflow", err)
+	}
+	// Huge ranks overflow multiplicatively after a few levels.
+	wide := []uint32{math.MaxUint32, math.MaxUint32, math.MaxUint32}
+	if _, _, err := EncodePath(wide); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("wide path err = %v, want ErrOverflow", err)
+	}
+}
+
+// randomPath draws a short random sibling path with small ranks so that
+// encoding stays within int64.
+func randomPath(rng *rand.Rand) []uint32 {
+	k := 1 + rng.Intn(8)
+	p := make([]uint32, k)
+	for i := range p {
+		p[i] = 1 + uint32(rng.Intn(6))
+	}
+	return p
+}
+
+func equalPath(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathLess is lexicographic document order on sibling paths, with a prefix
+// (an ancestor) ordered first.
+func pathLess(a, b []uint32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func isPrefix(a, b []uint32) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyRoundTripAndKeyOrder: on random paths, the codec round-trips
+// and bytes.Compare on packed keys agrees with document order on paths.
+func TestPropertyRoundTripAndKeyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		pa, pb := randomPath(rng), randomPath(rng)
+		for _, p := range [][]uint32{pa, pb} {
+			num, den := mustEncode(t, p)
+			back, err := DecodePath(num, den)
+			if err != nil || !equalPath(back, p) {
+				t.Fatalf("round trip %v -> %d/%d -> %v (%v)", p, num, den, back, err)
+			}
+		}
+		ka, kb := packPath(pa), packPath(pb)
+		wantLess := pathLess(pa, pb)
+		gotLess := bytes.Compare([]byte(ka), []byte(kb)) < 0
+		if !equalPath(pa, pb) && wantLess != gotLess {
+			t.Fatalf("key order disagrees with document order: %v vs %v", pa, pb)
+		}
+	}
+}
+
+// interval returns the closed rational interval [lo, hi] spanned by the
+// subtree of a node, as big.Rat. One endpoint is the node's own value (the
+// only attained endpoint); the other is the value descendant labels
+// converge toward without reaching: the previous sibling's value, or the
+// parent's when the node is a first child (1 for the document root).
+// Whether the node's value is the min or the max of its subtree alternates
+// with depth — e.g. subtree(1) ⊆ (1, 2], subtree(1.1) ⊆ [3/2, 2),
+// subtree(1.1.1) ⊆ (3/2, 5/3].
+func interval(t *testing.T, path []uint32) (lo, hi *big.Rat) {
+	t.Helper()
+	num, den := mustEncode(t, path)
+	self := big.NewRat(num, den)
+	var bound *big.Rat
+	switch {
+	case path[len(path)-1] > 1:
+		prev := make([]uint32, len(path))
+		copy(prev, path)
+		prev[len(prev)-1]--
+		pn, pd := mustEncode(t, prev)
+		bound = big.NewRat(pn, pd)
+	case len(path) > 1:
+		pn, pd := mustEncode(t, path[:len(path)-1])
+		bound = big.NewRat(pn, pd)
+	default:
+		bound = big.NewRat(1, 1)
+	}
+	if self.Cmp(bound) < 0 {
+		return self, bound
+	}
+	return bound, self
+}
+
+// TestPropertyIntervalsNest: for random ancestor/descendant pairs the
+// descendant's interval nests inside the ancestor's, and for unrelated
+// nodes the intervals are disjoint. This is the nested-intervals invariant
+// the scheme is named for.
+func TestPropertyIntervalsNest(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	contains := func(outLo, outHi, inLo, inHi *big.Rat) bool {
+		return outLo.Cmp(inLo) <= 0 && outHi.Cmp(inHi) >= 0
+	}
+	for i := 0; i < 1500; i++ {
+		anc := randomPath(rng)
+		// Build a strict descendant by extending the ancestor path.
+		desc := append(append([]uint32{}, anc...), randomPath(rng)...)
+		if len(desc) > 10 {
+			desc = desc[:10]
+		}
+		if !isPrefix(anc, desc) {
+			continue
+		}
+		aLo, aHi := interval(t, anc)
+		dLo, dHi := interval(t, desc)
+		if !contains(aLo, aHi, dLo, dHi) {
+			t.Fatalf("descendant interval escapes ancestor: anc=%v [%v,%v] desc=%v [%v,%v]",
+				anc, aLo, aHi, desc, dLo, dHi)
+		}
+		// The descendant's value itself falls inside the ancestor's interval.
+		dn, dd := mustEncode(t, desc)
+		dv := big.NewRat(dn, dd)
+		if aLo.Cmp(dv) > 0 || aHi.Cmp(dv) < 0 {
+			t.Fatalf("descendant value %v outside ancestor interval [%v,%v]", dv, aLo, aHi)
+		}
+		// Unrelated pair: neither a prefix of the other → disjoint intervals
+		// (they may share the single boundary point of adjacent siblings).
+		other := randomPath(rng)
+		if isPrefix(anc, other) || isPrefix(other, anc) || equalPath(anc, other) {
+			continue
+		}
+		oLo, oHi := interval(t, other)
+		if aLo.Cmp(oHi) < 0 && oLo.Cmp(aHi) < 0 {
+			// Open interiors overlap — only legal if one contains the other,
+			// which prefix-freedom rules out.
+			t.Fatalf("unrelated intervals overlap: %v [%v,%v] vs %v [%v,%v]",
+				anc, aLo, aHi, other, oLo, oHi)
+		}
+	}
+}
+
+// FuzzDecodePath feeds arbitrary rationals to the decoder: it must never
+// panic, and whenever it accepts, re-encoding must reproduce the rational
+// exactly (no two rationals decode to the same path).
+func FuzzDecodePath(f *testing.F) {
+	f.Add(int64(2), int64(1))
+	f.Add(int64(3), int64(2))
+	f.Add(int64(25), int64(9))
+	f.Add(int64(0), int64(0))
+	f.Add(int64(-5), int64(3))
+	f.Add(int64(math.MaxInt64), int64(math.MaxInt64-1))
+	f.Fuzz(func(t *testing.T, num, den int64) {
+		path, err := DecodePath(num, den)
+		if err != nil {
+			return
+		}
+		n2, d2, err := EncodePath(path)
+		if err != nil {
+			t.Fatalf("decoded path %v of %d/%d does not re-encode: %v", path, num, den, err)
+		}
+		if n2 != num || d2 != den {
+			t.Fatalf("round trip %d/%d -> %v -> %d/%d", num, den, path, n2, d2)
+		}
+	})
+}

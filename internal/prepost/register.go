@@ -1,0 +1,26 @@
+package prepost
+
+import (
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+func init() {
+	// Both pre/post baselines answer Parent through a stored parent rank,
+	// not identifier arithmetic, so neither claims ComputedParent: the
+	// planner must pair them with the comparison-only merge kernels.
+	scheme.Register(scheme.Registration{
+		Name: "prepost",
+		Caps: scheme.Capabilities{OrderedKeys: true},
+		Build: func(doc *xmltree.Node) (scheme.Scheme, error) {
+			return Build(doc)
+		},
+	})
+	scheme.Register(scheme.Registration{
+		Name: "limoon",
+		Caps: scheme.Capabilities{Update: true, OrderedKeys: true},
+		Build: func(doc *xmltree.Node) (scheme.Scheme, error) {
+			return BuildLiMoon(doc, 4)
+		},
+	})
+}

@@ -134,9 +134,21 @@ func (p *Planner) SetObserver(r *obs.Registry) {
 	}
 }
 
-// New builds a planner over doc numbered by s (which must also provide the
-// axes for the fallback engine, i.e. implement scheme.AxisScheme).
-func New(doc *xmltree.Node, s scheme.AxisScheme) *Planner {
+// navigatorFor picks the axis source for the fallback engine: identifier
+// arithmetic when the scheme generates axes, pointer navigation over the
+// ground-truth tree otherwise (comparison-only schemes still answer every
+// query — they just cannot do it on identifiers alone).
+func navigatorFor(s scheme.Scheme) xpath.Navigator {
+	if ax, ok := s.(scheme.AxisScheme); ok {
+		return xpath.SchemeNavigator{S: ax}
+	}
+	return xpath.PointerNavigator{}
+}
+
+// New builds a planner over doc numbered by s. Any registered scheme works:
+// the planner reads the scheme's capability flags and offers only the plans
+// its kernels can execute, falling back to navigation for the rest.
+func New(doc *xmltree.Node, s scheme.Scheme) *Planner {
 	root := doc
 	if doc.Kind == xmltree.Document {
 		root = doc.DocumentElement()
@@ -146,7 +158,7 @@ func New(doc *xmltree.Node, s scheme.AxisScheme) *Planner {
 		s:      s,
 		ix:     index.Build(root, s),
 		guide:  dataguide.Build(doc),
-		engine: xpath.NewEngine(doc, xpath.SchemeNavigator{S: s}),
+		engine: xpath.NewEngine(doc, navigatorFor(s)),
 		exec:   exec.Default(),
 	}
 	total, count := 0, 0
@@ -168,13 +180,13 @@ func New(doc *xmltree.Node, s scheme.AxisScheme) *Planner {
 // cardinality statistics itself instead of re-walking the document.
 // nodes and depthTotal are the non-attribute node count of the tree below
 // (and including) the root element and the sum of their depths.
-func NewWithState(doc *xmltree.Node, s scheme.AxisScheme, ix *index.NameIndex, guide *dataguide.Guide, nodes, depthTotal int) *Planner {
+func NewWithState(doc *xmltree.Node, s scheme.Scheme, ix *index.NameIndex, guide *dataguide.Guide, nodes, depthTotal int) *Planner {
 	p := &Planner{
 		doc:    doc,
 		s:      s,
 		ix:     ix,
 		guide:  guide,
-		engine: xpath.NewEngine(doc, xpath.SchemeNavigator{S: s}),
+		engine: xpath.NewEngine(doc, navigatorFor(s)),
 		exec:   exec.Default(),
 		nodes:  nodes,
 	}
@@ -214,10 +226,15 @@ func (p *Planner) Plan(q string) (Plan, error) {
 		return plan, nil
 	}
 	chain, ok := compileChain(paths[0])
+	if ok && !p.chainExecutable(chain) {
+		ok = false
+	}
 	if !ok {
 		// A branching name-test pattern still beats navigation when the
-		// involved name lists are small: try the twig compiler.
-		if pattern, err := twig.CompilePath(paths[0]); err == nil {
+		// involved name lists are small: try the twig compiler. Patterns
+		// whose edges the scheme's kernels cannot execute stay on the
+		// navigation engine.
+		if pattern, err := twig.CompilePath(paths[0]); err == nil && twig.Executable(pattern, p.s) {
 			// Each pattern edge is one semi-join: child edges probe once
 			// per candidate, descendant edges climb an ancestor chain that
 			// stops at the first hit (about half the mean depth). The root
@@ -266,6 +283,23 @@ func (p *Planner) Plan(q string) (Plan, error) {
 		plan.Kind = JoinPlan
 	}
 	return plan, nil
+}
+
+// chainExecutable reports whether every stage of a compiled join chain has
+// a kernel under the planner's scheme: descendant stages need only order
+// comparison and ancestry (every scheme), child stages need Parent
+// computation or identifier depths. The first stage is a seed list, not a
+// join, so it never disqualifies the chain.
+func (p *Planner) chainExecutable(chain []step) bool {
+	if index.CanChildStep(p.s) {
+		return true
+	}
+	for _, st := range chain[1:] {
+		if !st.descendant {
+			return false
+		}
+	}
+	return true
 }
 
 // navCost estimates axis-navigation cost: absolute descendant queries scan
@@ -516,9 +550,13 @@ func (p *Planner) runChain(chain []step) []scheme.ID {
 			return nil
 		}
 		if st.descendant {
-			cur = index.UpwardSemiJoin(p.s, cur, p.ix.IDs(st.name))
+			cur = index.SemiJoinDescendants(p.s, cur, p.ix.IDs(st.name))
 		} else {
-			cur = index.ParentSemiJoin(p.s, cur, p.ix.IDs(st.name))
+			var ok bool
+			cur, ok = index.SemiJoinChildren(p.s, cur, p.ix.IDs(st.name))
+			if !ok {
+				return nil // unreachable: chainExecutable gated the plan
+			}
 		}
 	}
 	return cur

@@ -1,0 +1,124 @@
+package query_test
+
+import (
+	"testing"
+
+	"repro/internal/ancestry"
+	"repro/internal/nestedint"
+	"repro/internal/prepost"
+	"repro/internal/query"
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// buildAlternatives numbers doc under the three non-ruid schemes exercising
+// the planner's capability tiers: nestedint (full axes + computed parent),
+// ancestry (comparison-only with depth), prepost (comparison-only, no
+// depth).
+func buildAlternatives(t *testing.T, doc *xmltree.Node) map[string]scheme.Scheme {
+	t.Helper()
+	nn, err := nestedint.Build(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := ancestry.Build(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := prepost.Build(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]scheme.Scheme{"nestedint": nn, "ancestry": an, "prepost": pn}
+}
+
+// TestPlannerAcrossSchemes: every scheme answers the mixed workload
+// identically to the pointer engine, whatever plans its capabilities allow.
+func TestPlannerAcrossSchemes(t *testing.T) {
+	docs := map[string]*xmltree.Node{
+		"recursive": xmltree.Recursive(2, 6),
+		"xmark":     xmltree.XMark(1, 9),
+	}
+	queries := []string{
+		"/site//item/name", "//section//title", "//section//para",
+		"/book//para", "//section/title", "//people/person",
+		"//section[title]//para", "//item[1]", "//title | //name", "//*",
+	}
+	for dn, doc := range docs {
+		ref := xpath.NewEngine(doc, xpath.PointerNavigator{})
+		for sn, s := range buildAlternatives(t, doc) {
+			p := query.New(doc, s)
+			for _, q := range queries {
+				got, plan, err := p.Run(q)
+				if err != nil {
+					t.Fatalf("%s/%s: Run(%q): %v", dn, sn, q, err)
+				}
+				want, err := ref.Query(q)
+				if err != nil {
+					t.Fatalf("%s/%s: ref Query(%q): %v", dn, sn, q, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s: Run(%q) [%s] = %d nodes, want %d",
+						dn, sn, q, plan.Explain(), len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%s: Run(%q) [%s]: node %d differs",
+							dn, sn, q, plan.Explain(), i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerCapabilityGates pins which plan kinds each capability tier may
+// produce: prepost must never run a child step as an identifier join, and
+// descendant-only chains must still compile to joins for every scheme.
+func TestPlannerCapabilityGates(t *testing.T) {
+	doc := xmltree.Recursive(2, 6)
+	schemes := buildAlternatives(t, doc)
+
+	descOnly := "//section//title"
+	withChild := "//section/title"
+
+	for sn, s := range schemes {
+		p := query.New(doc, s)
+		plan, err := p.Plan(descOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Kind != query.JoinPlan {
+			t.Errorf("%s: Plan(%q).Kind = %v, want join", sn, descOnly, plan.Kind)
+		}
+	}
+
+	// Child steps: identifier plans for schemes that can (computed parent
+	// or depth), navigation for prepost.
+	for sn, wantJoin := range map[string]bool{"nestedint": true, "ancestry": true, "prepost": false} {
+		p := query.New(doc, schemes[sn])
+		plan, err := p.Plan(withChild)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJoin := plan.Kind == query.JoinPlan
+		if gotJoin != wantJoin {
+			t.Errorf("%s: Plan(%q).Kind = %v, want join=%v", sn, withChild, plan.Kind, wantJoin)
+		}
+	}
+
+	// Twig with a child edge in a predicate: same gate.
+	twigQ := "//section[title]//para"
+	for sn, wantTwig := range map[string]bool{"nestedint": true, "ancestry": true, "prepost": false} {
+		p := query.New(doc, schemes[sn])
+		plan, err := p.Plan(twigQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTwig := plan.Kind == query.TwigPlan
+		if gotTwig != wantTwig {
+			t.Errorf("%s: Plan(%q).Kind = %v, want twig=%v", sn, twigQ, plan.Kind, wantTwig)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package scheme
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// This test binary deliberately does not import the nestedint package, so
+// "nestedint" is absent from the registry: Pick must fall back to ruid even
+// for a shape that would otherwise select the continued-fraction labels.
+// The positive picks are pinned at the facade level (internal/document),
+// where every scheme is registered.
+func TestPickFallsBackWhenUnregistered(t *testing.T) {
+	if _, ok := Lookup("nestedint"); ok {
+		t.Skip("nestedint registered in this binary; fallback path not reachable")
+	}
+	st := xmltree.Measure(xmltree.Recursive(2, 6))
+	if got := Pick(st); got != "ruid" {
+		t.Fatalf("Pick = %q with nestedint unregistered, want ruid", got)
+	}
+}
+
+// Pick on a zero Stats value (empty document) must not panic and must pick
+// the default.
+func TestPickZeroStats(t *testing.T) {
+	if got := Pick(xmltree.Stats{}); got != "ruid" {
+		t.Fatalf("Pick(zero) = %q, want ruid", got)
+	}
+}

@@ -1,0 +1,183 @@
+package scheme
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/xmltree"
+)
+
+// Capabilities declares, per registered scheme, which optional contracts the
+// implementation honors. The planner and the document facade consult these
+// flags instead of sniffing interfaces, so a scheme that *could* satisfy an
+// interface syntactically but not semantically (prepost implements Parent
+// through a stored rank, not arithmetic) is classified by what it genuinely
+// computes from identifiers.
+type Capabilities struct {
+	// Axes: the scheme implements AxisScheme — every positional XPath axis
+	// is generated from an identifier (plus small in-memory tables).
+	Axes bool
+	// Update: the scheme implements Updatable — structural inserts and
+	// deletes keep the numbering in sync and report their relabel scope.
+	Update bool
+	// ComputedParent: Parent is identifier arithmetic alone (the UID-family
+	// property of the paper). Schemes without it carry a stored parent
+	// pointer per node, so the planner must not credit them with the
+	// parent-climbing join kernels: it falls back to the comparison-only
+	// merge kernels, which need nothing beyond CompareOrder and IsAncestor.
+	ComputedParent bool
+	// Depth: identifiers carry their node's depth (the Depther interface),
+	// which lets comparison-only plans still execute child steps.
+	Depth bool
+	// OrderedKeys: bytes.Compare on ID.Key() agrees with CompareOrder for
+	// every pair of identifiers of one snapshot, i.e. the index key order
+	// IS document order. ruid and uid do not declare it: their keys sort
+	// by containing area (resp. numeric UID), which groups B-tree range
+	// scans per area but interleaves across areas. Schemes that declare it
+	// are held to it by the schemetest key-order contract test.
+	OrderedKeys bool
+}
+
+// Registration ties a scheme name to its constructor and capability flags.
+type Registration struct {
+	Name string
+	Caps Capabilities
+	// Build numbers one document snapshot (a Document node or an element
+	// treated as root).
+	Build func(doc *xmltree.Node) (Scheme, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Registration{}
+)
+
+// Register adds a scheme to the process-wide registry. Implementation
+// packages call it from init, so importing a scheme package is what makes
+// its name resolvable. Register panics on an empty name, a nil constructor,
+// or a duplicate registration — all programmer errors.
+func Register(r Registration) {
+	if r.Name == "" || r.Build == nil {
+		panic("scheme: Register needs a name and a Build constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[r.Name]; dup {
+		panic(fmt.Sprintf("scheme: %q registered twice", r.Name))
+	}
+	registry[r.Name] = r
+}
+
+// Lookup resolves a registered scheme by name.
+func Lookup(name string) (Registration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Names returns the registered scheme names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CapsOf returns the declared capabilities of a scheme instance, resolved
+// through the registry by Name. For an unregistered scheme it falls back to
+// interface probing, conservatively claiming no computed parent.
+func CapsOf(s Scheme) Capabilities {
+	if r, ok := Lookup(s.Name()); ok {
+		return r.Caps
+	}
+	caps := Capabilities{}
+	if _, ok := s.(AxisScheme); ok {
+		caps.Axes = true
+	}
+	if _, ok := s.(Updatable); ok {
+		caps.Update = true
+	}
+	if _, ok := s.(Depther); ok {
+		caps.Depth = true
+	}
+	return caps
+}
+
+// Depther is implemented by schemes whose identifiers expose their node's
+// depth (root element at depth 0). Depth lets the comparison-only join
+// kernels execute child steps: d is a child of a iff a is the nearest
+// admitted ancestor of d and depth(d) = depth(a)+1.
+type Depther interface {
+	Scheme
+	Depth(id ID) (int, bool)
+}
+
+// LabelSizer is implemented by schemes that can report the total resident
+// size of their labels in bytes — the bytes/node column of the bake-off.
+// What counts as "the label" is the scheme's own structural identifier (the
+// ruid triple, the pre/post pair, the nested-interval rational, the compact
+// ancestry word); auxiliary lookup tables are excluded.
+type LabelSizer interface {
+	LabelBytes() int
+}
+
+// LabelBytes reports the total label footprint of a scheme over n numbered
+// nodes: the scheme's own accounting when it implements LabelSizer, and the
+// Key-encoding footprint as a generic fallback.
+func LabelBytes(s Scheme, nodes []ID) int {
+	if ls, ok := s.(LabelSizer); ok {
+		return ls.LabelBytes()
+	}
+	total := 0
+	for _, id := range nodes {
+		total += len(id.Key())
+	}
+	return total
+}
+
+// Pick chooses a numbering scheme for a document from its shape statistics —
+// the adaptive layer behind document.Options{Scheme: "auto"}. The choice is
+// a pure function of the Stats (deterministic per document) and only ever
+// names update-capable registered schemes:
+//
+//   - Deep, narrow, recursion-heavy documents (depth ≥ 8 and the bulk of
+//     the nodes below depth 4, with no wide fan-out) pick "nestedint":
+//     continued-fraction labels stay within int64 when the per-level
+//     component values are small, the label is a flat 16 bytes/node with no
+//     area table, and insertion relabels only following siblings.
+//   - Everything else — wide or shallow documents, and any shape whose
+//     estimated continued-fraction magnitude could overflow — picks "ruid":
+//     area partitioning absorbs wide fan-outs and bounds update scope by
+//     the area budget.
+//
+// The overflow estimate is deliberately conservative: every level is
+// charged log2(avgFanout+1)+1 bits, so a tree within the bit budget here is
+// comfortably within int64 in practice.
+func Pick(st xmltree.Stats) string {
+	const (
+		// CF terms grow multiplicatively with sibling rank, so even one
+		// moderately wide level inflates every descendant numerator; area
+		// partitioning absorbs such levels instead. XMark-shaped site
+		// documents (fan-out ≈ 10–20 at the region/people levels) must land
+		// on ruid, recursion-heavy section trees (fan-out ≤ 4) on nestedint.
+		wideFanout = 8
+		minDepth   = 8  // shallower trees gain nothing from CF labels
+		bitBudget  = 56 // conservative bound on CF numerator magnitude
+	)
+	cfBits := float64(st.MaxDepth+1) * (math.Log2(st.AvgFanout()+1) + 1)
+	deepMass := st.DeepFraction(4)
+	if st.MaxFanout <= wideFanout && st.MaxDepth >= minDepth &&
+		deepMass >= 0.5 && cfBits <= bitBudget {
+		if _, ok := Lookup("nestedint"); ok {
+			return "nestedint"
+		}
+	}
+	return "ruid"
+}

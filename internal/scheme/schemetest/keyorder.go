@@ -1,0 +1,49 @@
+package schemetest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// CheckKeyOrder verifies the index-key ordering contract for schemes that
+// declare Capabilities.OrderedKeys: for every pair of identifiers of one
+// snapshot, the sign of bytes.Compare(a.Key(), b.Key()) must equal
+// CompareOrder(a, b). internal/storage range-scans rely on keys sorting in
+// document order for such schemes; before the capability existed this was
+// an undocumented assumption.
+func CheckKeyOrder(t *testing.T, s scheme.Scheme, nodes []*xmltree.Node) {
+	t.Helper()
+	stride := 1
+	if len(nodes) > 120 {
+		stride = len(nodes) / 120
+	}
+	for i := 0; i < len(nodes); i += stride {
+		for j := 0; j < len(nodes); j += stride {
+			a, oka := s.IDOf(nodes[i])
+			b, okb := s.IDOf(nodes[j])
+			if !oka || !okb {
+				t.Fatalf("%s: unnumbered corpus node", s.Name())
+			}
+			want := sign(s.CompareOrder(a, b))
+			got := sign(bytes.Compare(a.Key(), b.Key()))
+			if got != want {
+				t.Fatalf("%s: key order disagrees with document order: Key(%s) vs Key(%s): got %d, want %d (%s vs %s)",
+					s.Name(), a, b, got, want, nodes[i].Path(), nodes[j].Path())
+			}
+		}
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	default:
+		return 0
+	}
+}

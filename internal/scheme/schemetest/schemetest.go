@@ -47,18 +47,29 @@ func Run(t *testing.T, build Builder) {
 	for name, doc := range Corpus() {
 		doc := doc
 		t.Run(name, func(t *testing.T) {
-			s := build(t, doc)
-			root := doc.DocumentElement()
-			nodes := root.Nodes()
-			checkUniqueness(t, s, nodes)
-			checkRoundTrip(t, s, nodes)
-			checkParent(t, s, nodes)
-			checkAncestor(t, s, nodes)
-			checkOrder(t, s, nodes)
-			if ax, ok := s.(scheme.AxisScheme); ok {
-				checkAxes(t, ax, nodes)
-			}
+			RunOn(t, build(t, doc), doc)
 		})
+	}
+}
+
+// RunOn exercises the conformance checks for an already-built scheme over
+// one document: identity, parent, ancestry, document order, the key-order
+// contract for schemes declaring Capabilities.OrderedKeys, and the axes
+// where the scheme implements AxisScheme.
+func RunOn(t *testing.T, s scheme.Scheme, doc *xmltree.Node) {
+	t.Helper()
+	root := doc.DocumentElement()
+	nodes := root.Nodes()
+	checkUniqueness(t, s, nodes)
+	checkRoundTrip(t, s, nodes)
+	checkParent(t, s, nodes)
+	checkAncestor(t, s, nodes)
+	checkOrder(t, s, nodes)
+	if scheme.CapsOf(s).OrderedKeys {
+		CheckKeyOrder(t, s, nodes)
+	}
+	if ax, ok := s.(scheme.AxisScheme); ok {
+		checkAxes(t, ax, nodes)
 	}
 }
 

@@ -207,9 +207,36 @@ func compileSteps(steps []xpath.Step, isRoot bool) (*Node, error) {
 	return first, nil
 }
 
+// Executable reports whether the pattern's edges can all run as identifier
+// semi-joins under scheme s: descendant edges need only order comparison
+// and ancestry tests, child edges additionally need Parent computation or
+// identifier depths (index.CanChildStep). The planner refuses TwigPlan —
+// and stays on the navigation engine — when this is false.
+func Executable(p *Node, s scheme.Scheme) bool {
+	if index.CanChildStep(s) {
+		return true
+	}
+	var hasChildEdge func(n *Node, isRoot bool) bool
+	hasChildEdge = func(n *Node, isRoot bool) bool {
+		if !isRoot && n.Edge == Child {
+			return true
+		}
+		for _, c := range n.Children {
+			if hasChildEdge(c, false) {
+				return true
+			}
+		}
+		return false
+	}
+	return !hasChildEdge(p, true)
+}
+
 // Match evaluates the pattern against a name index and returns the output
 // node's matches in document order. Over a ruid-backed index the whole
-// match runs on the unboxed fast path; only the final result is boxed.
+// match runs on the unboxed fast path; only the final result is boxed. The
+// generic path picks its semi-join kernels by the scheme's capabilities —
+// Parent-climbing for the UID family, comparison-only merges otherwise —
+// and returns nil for patterns Executable rejects.
 func Match(p *Node, ix *index.NameIndex) []scheme.ID {
 	if ids, ok := MatchIDs(p, ix); ok {
 		if len(ids) == 0 {
@@ -240,9 +267,13 @@ func Match(p *Node, ix *index.NameIndex) []scheme.ID {
 			return nil // no output node (cannot happen for compiled patterns)
 		}
 		if next.Edge == Descendant {
-			cur = index.UpwardSemiJoin(s, cur, sat[next])
+			cur = index.SemiJoinDescendants(s, cur, sat[next])
 		} else {
-			cur = index.ParentSemiJoin(s, cur, sat[next])
+			var ok bool
+			cur, ok = index.SemiJoinChildren(s, cur, sat[next])
+			if !ok {
+				return nil
+			}
 		}
 		node = next
 	}
@@ -264,9 +295,9 @@ func satisfy(p *Node, ix *index.NameIndex, s scheme.Scheme) map[*Node][]scheme.I
 				break
 			}
 			if c.Edge == Descendant {
-				cur = index.AncestorSemiJoin(s, cur, sat[c])
+				cur = index.SemiJoinAncestors(s, cur, sat[c])
 			} else {
-				cur = index.ChildSemiJoin(s, cur, sat[c])
+				cur, _ = index.SemiJoinParents(s, cur, sat[c])
 			}
 		}
 		sat[n] = cur

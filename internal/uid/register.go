@@ -1,0 +1,16 @@
+package uid
+
+import (
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+func init() {
+	scheme.Register(scheme.Registration{
+		Name: "uid",
+		Caps: scheme.Capabilities{Axes: true, Update: true, ComputedParent: true},
+		Build: func(doc *xmltree.Node) (scheme.Scheme, error) {
+			return Build(doc, Options{})
+		},
+	})
+}

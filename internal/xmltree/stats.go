@@ -19,7 +19,9 @@ type Stats struct {
 	MaxDepth    int   // longest root-to-leaf path, in edges
 	Leaves      int   // nodes with no children
 	FanoutHist  []int // FanoutHist[f] = number of internal nodes with fan-out f
+	DepthHist   []int // DepthHist[d] = number of nodes at depth d below the walked node
 	TotalFanout int   // sum of fan-outs (== Nodes-1 for a tree rooted at the walked node)
+	TotalDepth  int   // sum of node depths below the walked node
 }
 
 // Measure walks the subtree rooted at n (attributes excluded from fan-out)
@@ -48,9 +50,15 @@ func Measure(n *Node) Stats {
 				s.MaxFanout = f
 			}
 		}
-		if d := d.Depth() - n.Depth(); d > s.MaxDepth {
-			s.MaxDepth = d
+		dep := d.Depth() - n.Depth()
+		if dep > s.MaxDepth {
+			s.MaxDepth = dep
 		}
+		for len(s.DepthHist) <= dep {
+			s.DepthHist = append(s.DepthHist, 0)
+		}
+		s.DepthHist[dep]++
+		s.TotalDepth += dep
 		return true
 	})
 	return s
@@ -64,6 +72,31 @@ func (s Stats) AvgFanout() float64 {
 		return 0
 	}
 	return float64(s.TotalFanout) / float64(internal)
+}
+
+// AvgDepth returns the mean node depth below the measured root, or 0 for an
+// empty measurement.
+func (s Stats) AvgDepth() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return float64(s.TotalDepth) / float64(s.Nodes)
+}
+
+// DeepFraction returns the fraction of nodes strictly deeper than the given
+// depth — the "recursion mass" signal the adaptive scheme picker uses to
+// tell genuinely deep documents from shallow ones with one long tail path.
+func (s Stats) DeepFraction(depth int) float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	deep := 0
+	for d, c := range s.DepthHist {
+		if d > depth {
+			deep += c
+		}
+	}
+	return float64(deep) / float64(s.Nodes)
 }
 
 // String renders the statistics on one line.
