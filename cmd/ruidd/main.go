@@ -1,0 +1,91 @@
+// Command ruidd serves a catalog of RUID-numbered XML documents over HTTP:
+// open documents with PUT, query them with POST, and every query runs
+// against a pinned snapshot under an enforced resource budget (postings
+// decoded, result rows materialized, wall clock). Overload sheds with 503
+// instead of collapsing; see internal/server for the API and the error
+// contract, and cmd/ruidload for the matching load generator.
+//
+// Usage:
+//
+//	ruidd [-addr :8712] [-inflight N] [-queue N]
+//	      [-max-postings N] [-max-results N] [-timeout 2s]
+//	      [-preload file.xml ...]
+//
+// Preloaded files are opened under their basename (sans extension) before
+// the listener starts, so a benchmark document is queryable immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8712", "listen address")
+	inflight := flag.Int("inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max queued requests before shedding (0 = 4x inflight)")
+	maxPostings := flag.Int64("max-postings", 0, "hard per-query postings ceiling (0 = uncapped)")
+	maxResults := flag.Int64("max-results", 0, "hard per-query result-row ceiling (0 = uncapped)")
+	timeout := flag.Duration("timeout", 0, "default per-query wall-clock budget (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "hard per-query deadline ceiling")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ruidd [flags] [-preload file.xml ...]\n")
+		flag.PrintDefaults()
+	}
+	var preload multiFlag
+	flag.Var(&preload, "preload", "XML file to open at startup (repeatable); catalog name is the basename")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		MaxInflight:    *inflight,
+		MaxQueue:       *queue,
+		MaxLimits:      budget.Limits{MaxPostings: *maxPostings, MaxResults: *maxResults},
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Observe:        obs.NewRegistry(),
+	})
+	for _, path := range preload {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ruidd: preload %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		d, err := s.Open(name, string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ruidd: preload %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		st := d.Stats()
+		fmt.Fprintf(os.Stderr, "ruidd: opened %q (%d nodes, scheme %s)\n", name, st.Nodes, st.Scheme)
+	}
+
+	run, err := s.Serve(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ruidd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ruidd: serving on %s\n", run.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "ruidd: shutting down")
+	_ = run.Close()
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }

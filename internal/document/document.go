@@ -58,6 +58,7 @@
 package document
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -65,6 +66,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dataguide"
 	"repro/internal/exec"
@@ -168,6 +170,15 @@ type Snapshot struct {
 	s          scheme.Scheme   // the epoch's numbering, whatever the scheme
 	schemeName string
 	planner    *query.Planner
+
+	// nodes is the canonical node count of this epoch under the facade's
+	// accounting rule: non-attribute nodes from the root element down —
+	// exactly the population subtreeStats maintains across updates. Carried
+	// on the snapshot so Stats never re-walks the tree (and so the generic
+	// and ruid paths answer from the same maintained figure; the ruid Areas
+	// and Kappa stats still come from the numbering, whose Size additionally
+	// counts attributes when the document was opened WithAttrs).
+	nodes int
 }
 
 // Open parses an XML document from r and numbers it.
@@ -220,7 +231,7 @@ func FromTree(doc *xmltree.Node, opts Options) (*Document, error) {
 		})
 		d.mu.Lock()
 		defer d.mu.Unlock()
-		return d, d.publishFullLocked()
+		return d, d.publishFullLocked(d.nodeCount, d.depthSum)
 	}
 	reg, ok := scheme.Lookup(name)
 	if !ok {
@@ -245,7 +256,7 @@ func FromTree(doc *xmltree.Node, opts Options) (*Document, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d, d.publishGenericLocked()
+	return d, d.publishGenericLocked(d.nodeCount, d.depthSum)
 }
 
 // publishGenericLocked installs the next epoch in generic-scheme mode: the
@@ -253,8 +264,13 @@ func FromTree(doc *xmltree.Node, opts Options) (*Document, error) {
 // constructor, so the snapshot's scheme, index and planner are built over an
 // immutable tree the writer never touches again. There is no structural
 // sharing with the previous epoch — the trade documented in Options.Scheme.
+//
+// nodes and depths are the counter values the new epoch should carry; they
+// are committed to d.nodeCount/d.depthSum only after the epoch is installed,
+// so a failed publication (the registry constructor rejecting the new tree)
+// leaves the document's statistics describing the still-current epoch.
 // Callers hold d.mu.
-func (d *Document) publishGenericLocked() error {
+func (d *Document) publishGenericLocked(nodes, depths int) error {
 	var start time.Time
 	if d.dm != nil {
 		start = time.Now()
@@ -274,7 +290,9 @@ func (d *Document) publishGenericLocked() error {
 		s:          s,
 		schemeName: d.schemeName,
 		planner:    planner,
+		nodes:      nodes,
 	})
+	d.nodeCount, d.depthSum = nodes, depths
 	d.noteEpochLocked(true, index.DeltaStats{}, time.Since(start))
 	return nil
 }
@@ -282,33 +300,37 @@ func (d *Document) publishGenericLocked() error {
 // publishLocked installs the next epoch after a successful update. With an
 // area-confined delta it copies only the dirty area and its root spine,
 // sharing everything else with the previous epoch; a full-rebuild delta
-// (overflow healing) falls back to a full clone. Callers hold d.mu.
-func (d *Document) publishLocked(delta *core.Delta) error {
+// (overflow healing) falls back to a full clone. nodes and depths are the
+// counter values the new epoch should carry (see publishGenericLocked).
+// Callers hold d.mu.
+func (d *Document) publishLocked(delta *core.Delta, nodes, depths int) error {
 	prev := d.cur.Load()
 	if prev == nil || delta == nil || delta.Full {
-		return d.publishFullLocked()
+		return d.publishFullLocked(nodes, depths)
 	}
 	var start time.Time
 	if d.dm != nil {
 		start = time.Now()
 	}
-	snap, st, err := d.assembleDeltaLocked(prev, delta)
+	snap, st, err := d.assembleDeltaLocked(prev, delta, nodes, depths)
 	if err != nil {
 		// Incremental assembly fails only on an internal invariant
 		// violation; a full publication always recovers a consistent epoch.
-		return d.publishFullLocked()
+		return d.publishFullLocked(nodes, depths)
 	}
 	d.epoch++
 	snap.epoch = d.epoch
 	d.cur.Store(snap)
+	d.nodeCount, d.depthSum = nodes, depths
 	d.noteEpochLocked(false, st, time.Since(start))
 	return nil
 }
 
 // publishFullLocked clones the master tree, re-points a copy of the
 // numbering at the clone and atomically installs the bundle as the next
-// epoch. Callers hold d.mu.
-func (d *Document) publishFullLocked() error {
+// epoch. Counter commit follows the publishGenericLocked rule. Callers
+// hold d.mu.
+func (d *Document) publishFullLocked(nodes, depths int) error {
 	var start time.Time
 	if d.dm != nil {
 		start = time.Now()
@@ -330,14 +352,19 @@ func (d *Document) publishFullLocked() error {
 		s:          num,
 		schemeName: "ruid",
 		planner:    planner,
+		nodes:      nodes,
 	})
+	d.nodeCount, d.depthSum = nodes, depths
 	d.noteEpochLocked(true, index.DeltaStats{}, time.Since(start))
 	return nil
 }
 
 // assembleDeltaLocked builds the next epoch incrementally from the
-// previous one and the update's delta. Callers hold d.mu.
-func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta) (*Snapshot, index.DeltaStats, error) {
+// previous one and the update's delta. nodes and depths are the planner
+// statistics of the epoch being assembled, passed explicitly because the
+// document's own counters are not committed until the epoch is installed.
+// Callers hold d.mu.
+func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta, nodes, depths int) (*Snapshot, index.DeltaStats, error) {
 	copySet := d.num.CopySet(delta)
 	tree, copies, err := d.master.CloneAlong(copySet, d.m2e)
 	if err != nil {
@@ -362,7 +389,7 @@ func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta) (*Snap
 			return true
 		})
 	}
-	planner := query.NewWithState(tree, num, ix, guide, d.nodeCount, d.depthSum)
+	planner := query.NewWithState(tree, num, ix, guide, nodes, depths)
 	planner.SetExecutor(d.exec)
 	planner.SetObserver(d.reg)
 	return &Snapshot{
@@ -371,6 +398,7 @@ func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta) (*Snap
 		s:          num,
 		schemeName: "ruid",
 		planner:    planner,
+		nodes:      nodes,
 	}, st, nil
 }
 
@@ -475,19 +503,18 @@ func (d *Document) Insert(parentPath string, pos int, child *xmltree.Node) (sche
 		if err != nil {
 			return st, err
 		}
+		// The counters commit inside the publish call, only after the new
+		// epoch is installed: a publication failure must leave the document's
+		// statistics describing the epoch readers still see.
 		count, depths := subtreeStats(child, parent.Depth()+1)
-		d.nodeCount += count
-		d.depthSum += depths
-		return st, d.publishGenericLocked()
+		return st, d.publishGenericLocked(d.nodeCount+count, d.depthSum+depths)
 	}
 	st, delta, err := d.num.InsertChildDelta(parent, pos, child)
 	if err != nil {
 		return st, err
 	}
 	count, depths := subtreeStats(child, parent.Depth()+1)
-	d.nodeCount += count
-	d.depthSum += depths
-	return st, d.publishLocked(delta)
+	return st, d.publishLocked(delta, d.nodeCount+count, d.depthSum+depths)
 }
 
 // Delete removes (cascading) the pos-th child of the first element matched
@@ -514,18 +541,14 @@ func (d *Document) Delete(parentPath string, pos int) (scheme.UpdateStats, error
 			return st, err
 		}
 		count, depths := subtreeStats(removed, parent.Depth()+1)
-		d.nodeCount -= count
-		d.depthSum -= depths
-		return st, d.publishGenericLocked()
+		return st, d.publishGenericLocked(d.nodeCount-count, d.depthSum-depths)
 	}
 	st, delta, err := d.num.DeleteChildDelta(parent, pos)
 	if err != nil {
 		return st, err
 	}
 	count, depths := subtreeStats(delta.Removed, parent.Depth()+1)
-	d.nodeCount -= count
-	d.depthSum -= depths
-	return st, d.publishLocked(delta)
+	return st, d.publishLocked(delta, d.nodeCount-count, d.depthSum-depths)
 }
 
 // subtreeStats counts the non-attribute nodes of the subtree rooted at x
@@ -581,18 +604,14 @@ func (d *Document) Stats() Stats {
 		Scheme: s.schemeName,
 		Names:  len(s.Index().Names()),
 	}
+	// Both scheme families answer Nodes from the snapshot's maintained count
+	// (non-attribute nodes from the root element down, the same population
+	// subtreeStats tracks across updates) — no per-call tree walk. The
+	// accounting consistency is pinned by TestGenericStatsMatchRecount.
+	st.Nodes = s.nodes
 	if s.num != nil {
-		st.Nodes = s.num.Size()
 		st.Areas = s.num.AreaCount()
 		st.Kappa = s.num.Kappa()
-		return st
-	}
-	root := s.tree
-	if root.Kind == xmltree.Document {
-		root = root.DocumentElement()
-	}
-	if root != nil {
-		root.Walk(func(*xmltree.Node) bool { st.Nodes++; return true })
 	}
 	return st
 }
@@ -634,6 +653,22 @@ func (s *Snapshot) Guide() *dataguide.Guide { return s.planner.Guide() }
 // concurrent use.
 func (s *Snapshot) Query(q string) ([]*xmltree.Node, query.Plan, error) {
 	return s.planner.Run(q)
+}
+
+// QueryBudget is Query under the resource limits lim and the deadline (or
+// cancellation) of ctx. A query that exceeds a bound terminates early
+// inside the join kernels and returns the matching sentinel —
+// budget.ErrPostingsBudget, budget.ErrResultBudget, or the context's own
+// error — with a nil node-set. The server's per-request enforcement point.
+func (s *Snapshot) QueryBudget(ctx context.Context, q string, lim budget.Limits) ([]*xmltree.Node, query.Plan, error) {
+	return s.planner.RunBudget(ctx, q, lim)
+}
+
+// QueryMetered is QueryBudget over a caller-owned meter, optionally traced:
+// the caller inspects the meter afterwards for postings/result consumption.
+// A nil meter runs unbudgeted; a nil trace untraced.
+func (s *Snapshot) QueryMetered(q string, tr *obs.Trace, m *budget.Meter) ([]*xmltree.Node, query.Plan, error) {
+	return s.planner.RunMetered(q, tr, m)
 }
 
 // Plan parses the query and reports the strategy the planner would choose,

@@ -68,7 +68,7 @@ func (d *Document) noteEpochLocked(full bool, st index.DeltaStats, dur time.Dura
 		d.dm.nodes.Set(int64(s.num.Size()))
 		d.dm.areas.Set(int64(s.num.AreaCount()))
 	} else {
-		d.dm.nodes.Set(int64(d.nodeCount))
+		d.dm.nodes.Set(int64(s.nodes))
 	}
 	d.dm.names.Set(int64(len(s.Index().Names())))
 	d.dm.postingsBytes.Set(int64(s.Index().PostingsSizeBytes()))

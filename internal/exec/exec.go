@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/obs"
@@ -81,6 +82,7 @@ type Executor struct {
 	minWork int
 	m       *execMetrics
 	span    *obs.Span
+	meter   *budget.Meter // per-query budget; nil when unbudgeted
 }
 
 // New builds an executor from cfg, applying the zero-value defaults.
@@ -213,14 +215,23 @@ func putMergeScratch(sc *index.MergeScratch) { mergeScratchPool.Put(sc) }
 
 var blockScratchPool = sync.Pool{New: func() any { poolMisses.Add(1); return new(index.BlockScratch) }}
 
-func getBlockScratch() *index.BlockScratch {
+// blockScratch hands out a pooled scratch wired to this executor's meter, so
+// the seek kernels charge block decodes against the query's budget.
+func (e *Executor) blockScratch() *index.BlockScratch {
 	poolGets.Add(1)
-	return blockScratchPool.Get().(*index.BlockScratch)
+	bs := blockScratchPool.Get().(*index.BlockScratch)
+	bs.Meter = e.meter
+	return bs
 }
 
-// putBlockScratch zeroes the statistics so a pooled scratch never leaks one
-// operation's counts into the next.
-func putBlockScratch(b *index.BlockScratch) { b.Stats = index.BlockStats{}; blockScratchPool.Put(b) }
+// putBlockScratch zeroes the statistics and detaches the meter so a pooled
+// scratch never leaks one operation's counts — or one query's budget — into
+// the next.
+func putBlockScratch(b *index.BlockScratch) {
+	b.Stats = index.BlockStats{}
+	b.Meter = nil
+	blockScratchPool.Put(b)
+}
 
 // shardBlocks cuts nblocks posting blocks into at most want contiguous
 // [lo, hi) block-index ranges of near-equal size. Blocks never split, so

@@ -18,9 +18,41 @@ import (
 // because the inputs are document-ordered and every kernel preserves input
 // order. Below the crossover (or in Serial mode) each operation delegates
 // to the one-shot index.*Postings form, so P=1 costs one extra call frame —
-// unless the executor is observed, in which case block-backed inputs run
-// the gather path with a single shard so the seek kernels' block statistics
-// surface (identical output; see metrics.go).
+// unless the executor is observed or metered, in which case block-backed
+// inputs run the gather path with a single shard so the seek kernels'
+// block statistics and budget charges surface (identical output; see
+// metrics.go).
+//
+// Budget enforcement (WithMeter) follows one pattern per operation: the
+// probe side is charged as postings before it is materialized; block-backed
+// descendant sides are charged inside forEachRun, per admitted run, before
+// any decode; slice-backed shards are charged per shard; and every kernel's
+// output rows are charged as results. A refused charge stops each shard at
+// its next charge point, so a query over budget terminates inside the join
+// kernels — the partial output is discarded by the planner, which surfaces
+// the meter's sentinel error instead.
+
+// serialPairs wraps a one-shot serial kernel in the operation's budget
+// charges: work postings in, output rows out. Unmetered executors pass
+// through with two nil checks.
+func (e *Executor) serialPairs(work int, f func() []index.PairID) []index.PairID {
+	if !e.meter.ChargePostings(work) {
+		return nil
+	}
+	out := f()
+	e.meter.ChargeResults(len(out))
+	return out
+}
+
+// serialIDs is serialPairs for identifier outputs.
+func (e *Executor) serialIDs(work int, f func() []core.ID) []core.ID {
+	if !e.meter.ChargePostings(work) {
+		return nil
+	}
+	out := f()
+	e.meter.ChargeResults(len(out))
+	return out
+}
 
 // UpwardJoin is index.UpwardJoinPostings sharded over descs: every pair
 // (a, d) with a ∈ ancs a proper ancestor of d ∈ descs, in document order of
@@ -38,29 +70,45 @@ func (e *Executor) UpwardJoin(n *core.Numbering, ancs, descs index.Postings) []i
 func (e *Executor) upwardJoin(n *core.Numbering, ancs, descs index.Postings) []index.PairID {
 	p := e.workersFor(ancs.Len() + descs.Len())
 	if pl := descs.List(); pl != nil {
-		if (p <= 1 || pl.NumBlocks() <= 1) && !e.instrumented() {
+		if (p <= 1 || pl.NumBlocks() <= 1) && e.plain() {
 			return index.UpwardJoinPostings(n, ancs, descs)
+		}
+		if !e.meter.ChargePostings(ancs.Len()) {
+			return nil
 		}
 		pr := index.MakeProbe(ancs)
 		return gatherPairs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []index.PairID) []index.PairID {
-			bs := getBlockScratch()
+			bs := e.blockScratch()
+			before := len(buf)
 			buf = index.AppendUpwardJoinBlocks(n, pr, pl, r[0], r[1], bs, buf)
+			e.meter.ChargeResults(len(buf) - before)
 			e.noteBlockStats(&bs.Stats)
 			putBlockScratch(bs)
 			return buf
 		})
 	}
-	if p <= 1 {
-		return index.UpwardJoinPostings(n, ancs, descs)
-	}
 	ids := descs.Slice()
-	ranges := shardRanges(ids, p)
+	var ranges [][2]int
+	if p > 1 {
+		ranges = shardRanges(ids, p)
+	}
 	if len(ranges) <= 1 {
-		return index.UpwardJoinPostings(n, ancs, descs)
+		return e.serialPairs(ancs.Len()+len(ids), func() []index.PairID {
+			return index.UpwardJoinPostings(n, ancs, descs)
+		})
+	}
+	if !e.meter.ChargePostings(ancs.Len()) {
+		return nil
 	}
 	pr := index.MakeProbe(ancs)
 	return gatherPairs(e, ranges, func(r [2]int, buf []index.PairID) []index.PairID {
-		return index.AppendUpwardJoinRUID(n, pr.Set, ids[r[0]:r[1]], buf)
+		if !e.meter.ChargePostings(r[1] - r[0]) {
+			return buf
+		}
+		before := len(buf)
+		buf = index.AppendUpwardJoinRUID(n, pr.Set, ids[r[0]:r[1]], buf)
+		e.meter.ChargeResults(len(buf) - before)
+		return buf
 	})
 }
 
@@ -86,32 +134,45 @@ func (e *Executor) MergeJoin(n *core.Numbering, ancs, descs index.Postings) []in
 func (e *Executor) mergeJoin(n *core.Numbering, ancs, descs index.Postings) []index.PairID {
 	p := e.workersFor(ancs.Len() + descs.Len())
 	if pl := descs.List(); pl != nil {
-		if (p <= 1 || pl.NumBlocks() <= 1) && !e.instrumented() {
+		if (p <= 1 || pl.NumBlocks() <= 1) && e.plain() {
 			return index.MergeJoinPostings(n, ancs, descs)
+		}
+		if !e.meter.ChargePostings(ancs.Len()) {
+			return nil
 		}
 		ancIDs := ancs.Materialize()
 		pr := index.MakeProbe(index.SlicePostings(ancIDs))
 		return gatherPairs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []index.PairID) []index.PairID {
 			sc := getMergeScratch()
-			bs := getBlockScratch()
+			bs := e.blockScratch()
+			before := len(buf)
 			buf = index.AppendMergeJoinBlocks(n, ancIDs, pr, pl, r[0], r[1], sc, bs, buf)
+			e.meter.ChargeResults(len(buf) - before)
 			e.noteBlockStats(&bs.Stats)
 			putBlockScratch(bs)
 			putMergeScratch(sc)
 			return buf
 		})
 	}
-	if p <= 1 {
-		return index.MergeJoinPostings(n, ancs, descs)
-	}
 	descIDs := descs.Slice()
-	ranges := shardRanges(descIDs, p)
+	var ranges [][2]int
+	if p > 1 {
+		ranges = shardRanges(descIDs, p)
+	}
 	if len(ranges) <= 1 {
-		return index.MergeJoinPostings(n, ancs, descs)
+		return e.serialPairs(ancs.Len()+len(descIDs), func() []index.PairID {
+			return index.MergeJoinPostings(n, ancs, descs)
+		})
+	}
+	if !e.meter.ChargePostings(ancs.Len()) {
+		return nil
 	}
 	ancIDs := ancs.Materialize()
 	ancSet := index.MakeIDSet(ancIDs)
 	return gatherPairs(e, ranges, func(r [2]int, buf []index.PairID) []index.PairID {
+		if !e.meter.ChargePostings(r[1] - r[0]) {
+			return buf
+		}
 		d0 := descIDs[r[0]]
 		start := sort.Search(len(ancIDs), func(j int) bool {
 			return n.CompareOrderID(ancIDs[j], d0) >= 0
@@ -127,7 +188,9 @@ func (e *Executor) mergeJoin(n *core.Numbering, ancs, descs index.Postings) []in
 				seed = append(seed, chain[j])
 			}
 		}
+		before := len(buf)
 		buf = index.AppendMergeJoinRUID(n, ancIDs[start:], descIDs[r[0]:r[1]], seed, sc, buf)
+		e.meter.ChargeResults(len(buf) - before)
 		*chainBuf, *seedBuf = chain, seed
 		putIDBuf(chainBuf)
 		putIDBuf(seedBuf)
@@ -152,29 +215,45 @@ func (e *Executor) UpwardSemiJoin(n *core.Numbering, ancs, descs index.Postings)
 func (e *Executor) upwardSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
 	p := e.workersFor(ancs.Len() + descs.Len())
 	if pl := descs.List(); pl != nil {
-		if (p <= 1 || pl.NumBlocks() <= 1) && !e.instrumented() {
+		if (p <= 1 || pl.NumBlocks() <= 1) && e.plain() {
 			return index.UpwardSemiJoinPostings(n, ancs, descs)
+		}
+		if !e.meter.ChargePostings(ancs.Len()) {
+			return nil
 		}
 		pr := index.MakeProbe(ancs)
 		return gatherIDs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []core.ID) []core.ID {
-			bs := getBlockScratch()
+			bs := e.blockScratch()
+			before := len(buf)
 			buf = index.AppendUpwardSemiJoinBlocks(n, pr, pl, r[0], r[1], bs, buf)
+			e.meter.ChargeResults(len(buf) - before)
 			e.noteBlockStats(&bs.Stats)
 			putBlockScratch(bs)
 			return buf
 		})
 	}
-	if p <= 1 {
-		return index.UpwardSemiJoinPostings(n, ancs, descs)
-	}
 	ids := descs.Slice()
-	ranges := shardRanges(ids, p)
+	var ranges [][2]int
+	if p > 1 {
+		ranges = shardRanges(ids, p)
+	}
 	if len(ranges) <= 1 {
-		return index.UpwardSemiJoinPostings(n, ancs, descs)
+		return e.serialIDs(ancs.Len()+len(ids), func() []core.ID {
+			return index.UpwardSemiJoinPostings(n, ancs, descs)
+		})
+	}
+	if !e.meter.ChargePostings(ancs.Len()) {
+		return nil
 	}
 	pr := index.MakeProbe(ancs)
 	return gatherIDs(e, ranges, func(r [2]int, buf []core.ID) []core.ID {
-		return index.AppendUpwardSemiJoinRUID(n, pr.Set, ids[r[0]:r[1]], buf)
+		if !e.meter.ChargePostings(r[1] - r[0]) {
+			return buf
+		}
+		before := len(buf)
+		buf = index.AppendUpwardSemiJoinRUID(n, pr.Set, ids[r[0]:r[1]], buf)
+		e.meter.ChargeResults(len(buf) - before)
+		return buf
 	})
 }
 
@@ -193,29 +272,45 @@ func (e *Executor) ParentSemiJoin(n *core.Numbering, ancs, descs index.Postings)
 func (e *Executor) parentSemiJoin(n *core.Numbering, ancs, descs index.Postings) []core.ID {
 	p := e.workersFor(ancs.Len() + descs.Len())
 	if pl := descs.List(); pl != nil {
-		if (p <= 1 || pl.NumBlocks() <= 1) && !e.instrumented() {
+		if (p <= 1 || pl.NumBlocks() <= 1) && e.plain() {
 			return index.ParentSemiJoinPostings(n, ancs, descs)
+		}
+		if !e.meter.ChargePostings(ancs.Len()) {
+			return nil
 		}
 		pr := index.MakeProbe(ancs)
 		return gatherIDs(e, shardBlocks(pl.NumBlocks(), p), func(r [2]int, buf []core.ID) []core.ID {
-			bs := getBlockScratch()
+			bs := e.blockScratch()
+			before := len(buf)
 			buf = index.AppendParentSemiJoinBlocks(n, pr, pl, r[0], r[1], bs, buf)
+			e.meter.ChargeResults(len(buf) - before)
 			e.noteBlockStats(&bs.Stats)
 			putBlockScratch(bs)
 			return buf
 		})
 	}
-	if p <= 1 {
-		return index.ParentSemiJoinPostings(n, ancs, descs)
-	}
 	ids := descs.Slice()
-	ranges := shardRanges(ids, p)
+	var ranges [][2]int
+	if p > 1 {
+		ranges = shardRanges(ids, p)
+	}
 	if len(ranges) <= 1 {
-		return index.ParentSemiJoinPostings(n, ancs, descs)
+		return e.serialIDs(ancs.Len()+len(ids), func() []core.ID {
+			return index.ParentSemiJoinPostings(n, ancs, descs)
+		})
+	}
+	if !e.meter.ChargePostings(ancs.Len()) {
+		return nil
 	}
 	pr := index.MakeProbe(ancs)
 	return gatherIDs(e, ranges, func(r [2]int, buf []core.ID) []core.ID {
-		return index.AppendParentSemiJoinRUID(n, pr.Set, ids[r[0]:r[1]], buf)
+		if !e.meter.ChargePostings(r[1] - r[0]) {
+			return buf
+		}
+		before := len(buf)
+		buf = index.AppendParentSemiJoinRUID(n, pr.Set, ids[r[0]:r[1]], buf)
+		e.meter.ChargeResults(len(buf) - before)
+		return buf
 	})
 }
 
@@ -280,19 +375,21 @@ func (e *Executor) hitSemiJoin(
 	var descIDs []core.ID
 	pl := descs.List()
 	if pl != nil {
-		if (p <= 1 || pl.NumBlocks() <= 1) && !e.instrumented() {
+		if (p <= 1 || pl.NumBlocks() <= 1) && e.plain() {
 			return serial()
 		}
 		ranges = shardBlocks(pl.NumBlocks(), p)
 	} else {
-		if p <= 1 {
-			return serial()
-		}
 		descIDs = descs.Slice()
-		ranges = shardRanges(descIDs, p)
-		if len(ranges) <= 1 {
-			return serial()
+		if p > 1 {
+			ranges = shardRanges(descIDs, p)
 		}
+		if len(ranges) <= 1 {
+			return e.serialIDs(ancs.Len()+len(descIDs), serial)
+		}
+	}
+	if !e.meter.ChargePostings(ancs.Len()) {
+		return nil
 	}
 	pr := index.MakeProbe(ancs)
 	hits := make([]index.IDSet, len(ranges))
@@ -301,11 +398,11 @@ func (e *Executor) hitSemiJoin(
 		t := clock.start()
 		hit := getHitSet()
 		if pl != nil {
-			bs := getBlockScratch()
+			bs := e.blockScratch()
 			collectBlocks(pr, pl, ranges[s][0], ranges[s][1], bs, hit)
 			e.noteBlockStats(&bs.Stats)
 			putBlockScratch(bs)
-		} else {
+		} else if e.meter.ChargePostings(ranges[s][1] - ranges[s][0]) {
 			collectRun(pr, descIDs[ranges[s][0]:ranges[s][1]], hit)
 		}
 		hits[s] = hit
@@ -319,6 +416,7 @@ func (e *Executor) hitSemiJoin(
 		}
 	}
 	out := index.AppendHitMembersPostings(ancs, union, make([]core.ID, 0, len(union)))
+	e.meter.ChargeResults(len(out))
 	for _, h := range hits {
 		putHitSet(h)
 	}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/index"
 	"repro/internal/obs"
 )
@@ -67,9 +68,9 @@ func newExecMetrics(r *obs.Registry) *execMetrics {
 }
 
 // WithSpan returns an executor recording into sp in addition to the
-// receiver's registry. The copy shares the receiver's policy and metrics;
-// the planner attaches one span per query stage. WithSpan(nil) on an
-// untraced executor returns the receiver unchanged.
+// receiver's registry. The copy shares the receiver's policy and metrics
+// (and any attached meter); the planner attaches one span per query stage.
+// WithSpan(nil) on an untraced executor returns the receiver unchanged.
 func (e *Executor) WithSpan(sp *obs.Span) *Executor {
 	if sp == nil && e.span == nil {
 		return e
@@ -79,9 +80,35 @@ func (e *Executor) WithSpan(sp *obs.Span) *Executor {
 	return &c
 }
 
-// instrumented reports whether any sink is live for this executor.
+// WithMeter returns an executor whose operations charge the query budget m:
+// probe sides and slice-backed shards are charged as postings scanned, the
+// block kernels charge admitted blocks through the scratch's meter before
+// decoding, and every operation's output rows are charged as results. A
+// tripped meter stops each shard at its next charge point and the operation
+// returns a partial (to-be-discarded) output; the caller surfaces m.Err().
+// WithMeter(nil) returns the receiver unchanged.
+func (e *Executor) WithMeter(m *budget.Meter) *Executor {
+	if m == nil {
+		return e
+	}
+	c := *e
+	c.meter = m
+	return &c
+}
+
+// instrumented reports whether any observation sink is live for this
+// executor.
 func (e *Executor) instrumented() bool {
 	return e.m != nil || e.span != nil
+}
+
+// plain reports whether an operation may delegate to the one-shot serial
+// index forms: nothing is observing (no registry, no span) and no meter
+// needs per-block budget visibility. A metered operation always routes
+// through the sharded gather path — with a single shard when serial — so
+// the seek kernels charge block decodes as they happen.
+func (e *Executor) plain() bool {
+	return e.m == nil && e.span == nil && e.meter == nil
 }
 
 // noteOp records one completed operation (wall time from start).

@@ -3,6 +3,7 @@ package index
 import (
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 )
 
@@ -111,12 +112,26 @@ type BlockScratch struct {
 	// Stats accumulates across kernel calls until reset; exec drains it
 	// per shard.
 	Stats BlockStats
+
+	// Meter, when non-nil, is the query's resource budget: forEachRun
+	// charges every admitted block's postings against it before decoding
+	// and stops the scan — mid-list, without touching the remaining blocks
+	// — the moment a charge is refused. Pooled instances must have it
+	// cleared on return (internal/exec does).
+	Meter *budget.Meter
 }
 
 // forEachRun decodes maximal runs of consecutive candidate blocks in
 // [lo, hi) and hands each run to fn along with its first block index.
 // Blocks failing the candidate test are galloped over without decoding; a
 // nil candidate admits every block (the dense case, see Probe.admitAll).
+//
+// This is the budget enforcement point of the block read path: every
+// admitted run's postings are charged against bs.Meter before any decode,
+// and a refused charge — limit exceeded, deadline past, or another shard
+// already tripped — ends the scan immediately. The caller's partial output
+// is discarded above (the query surfaces the meter's sentinel error), so
+// stopping mid-list never yields a silently truncated result.
 func forEachRun(pl *PostingList, lo, hi int, candidate func(sk *Skip) bool, bs *BlockScratch, fn func(firstBlock int, ids []core.ID)) {
 	if candidate == nil {
 		bs.Stats.AdmitAll++
@@ -133,8 +148,13 @@ func forEachRun(pl *PostingList, lo, hi int, candidate func(sk *Skip) bool, bs *
 			continue
 		}
 		j := i + 1
+		n := int(pl.skips[i].N)
 		for j < hi && j-i < maxRunBlocks && (candidate == nil || probe(j)) {
+			n += int(pl.skips[j].N)
 			j++
+		}
+		if !bs.Meter.ChargePostings(n) {
+			return
 		}
 		ids := bs.buf[:0]
 		for b := i; b < j; b++ {

@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // HTTP surfacing of a Registry: Go-standard expvar under /debug/vars (the
@@ -59,6 +60,38 @@ func Handler(reg *Registry) http.Handler {
 	return mux
 }
 
+// Connection hardening for every HTTP listener the repo opens (this
+// endpoint and the query server). The read deadlines bound how long a
+// client may dribble its request in — without them a handful of idle
+// connections sending one header byte a minute (slow-loris) pins goroutines
+// and file descriptors forever. There is deliberately no WriteTimeout: the
+// pprof profile and trace endpoints stream for a client-chosen number of
+// seconds (?seconds=30 is routine), and a server-side write deadline would
+// truncate exactly the long captures the endpoint exists for. Long-running
+// responses are instead bounded per-request by the handlers themselves
+// (the query server's budget deadline).
+const (
+	// ReadHeaderTimeout bounds the wait for a complete request header.
+	ReadHeaderTimeout = 10 * time.Second
+	// ReadTimeout bounds reading the whole request, body included.
+	ReadTimeout = time.Minute
+	// IdleTimeout reclaims keep-alive connections with no next request.
+	IdleTimeout = 2 * time.Minute
+)
+
+// NewHTTPServer returns an http.Server for h with the package's hardened
+// connection deadlines applied. Every listener in the repo — obs.Serve and
+// cmd/ruidd — builds its server here so the slow-loris posture is set (and
+// audited) in one place.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
 // Server is a running observability endpoint.
 type Server struct {
 	l   net.Listener
@@ -73,7 +106,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := NewHTTPServer(Handler(reg))
 	go func() { _ = srv.Serve(l) }()
 	return &Server{l: l, srv: srv}, nil
 }

@@ -53,6 +53,40 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 }
 
+// TestHardenedServerTimeouts pins the connection deadlines every listener
+// in the repo inherits through NewHTTPServer: the read-side deadlines must
+// be set (a server without them holds a goroutine per slow-loris
+// connection indefinitely), and WriteTimeout must stay zero so the pprof
+// profile/trace endpoints can stream for a client-chosen duration.
+func TestHardenedServerTimeouts(t *testing.T) {
+	srv := NewHTTPServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slow-loris headers hold connections forever")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: slow request bodies hold connections forever")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections are never reclaimed")
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (pprof profile/trace stream long responses)", srv.WriteTimeout)
+	}
+}
+
+// TestServeUsesHardenedServer ensures the observability endpoint goes
+// through the hardened constructor rather than a bare http.Server.
+func TestServeUsesHardenedServer(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.srv.ReadHeaderTimeout != ReadHeaderTimeout || srv.srv.IdleTimeout != IdleTimeout {
+		t.Errorf("Serve bypassed NewHTTPServer: %+v", srv.srv)
+	}
+}
+
 func TestServe(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("doc.queries").Inc()

@@ -11,9 +11,11 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dataguide"
 	"repro/internal/exec"
@@ -354,7 +356,7 @@ func compileChain(path xpath.Path) ([]step, bool) {
 // Run plans and executes the query, returning the result node-set in
 // document order together with the plan used.
 func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
-	return p.RunTraced(q, nil)
+	return p.run(q, nil, nil)
 }
 
 // RunTraced is Run recording per-stage execution spans into tr — the
@@ -362,11 +364,35 @@ func (p *Planner) Run(q string) ([]*xmltree.Node, Plan, error) {
 // span, note, or attribute is materialized. The trace is finished (plan
 // recorded, total frozen) before returning, ready to Render.
 func (p *Planner) RunTraced(q string, tr *obs.Trace) ([]*xmltree.Node, Plan, error) {
+	return p.run(q, tr, nil)
+}
+
+// RunBudget is Run under the resource limits lim and the deadline (or
+// cancellation) of ctx: identifier pipelines charge postings scanned and
+// result rows materialized against a fresh meter as they execute, and a
+// query that exceeds any bound terminates early inside the join kernels,
+// returning the matching sentinel (budget.ErrPostingsBudget,
+// budget.ErrResultBudget, or the context's own error) with a nil node-set.
+// Zero limits with a background context make every charge admit — the
+// unbudgeted behavior at three atomic adds of cost per stage.
+func (p *Planner) RunBudget(ctx context.Context, q string, lim budget.Limits) ([]*xmltree.Node, Plan, error) {
+	return p.run(q, nil, budget.NewMeter(ctx, lim))
+}
+
+// RunMetered is RunBudget over a caller-owned meter — the server path,
+// where one meter per request is inspected afterwards for postings/result
+// consumption, optionally combined with an EXPLAIN ANALYZE trace. A nil
+// meter runs unbudgeted.
+func (p *Planner) RunMetered(q string, tr *obs.Trace, m *budget.Meter) ([]*xmltree.Node, Plan, error) {
+	return p.run(q, tr, m)
+}
+
+func (p *Planner) run(q string, tr *obs.Trace, m *budget.Meter) ([]*xmltree.Node, Plan, error) {
 	var start time.Time
 	if p.m != nil {
 		start = time.Now()
 	}
-	nodes, plan, err := p.execute(q, tr)
+	nodes, plan, err := p.execute(q, tr, m)
 	if err != nil {
 		tr.Notef("error: %v", err)
 		tr.Finish()
@@ -390,7 +416,7 @@ func (p *Planner) RunTraced(q string, tr *obs.Trace) ([]*xmltree.Node, Plan, err
 	return nodes, plan, err
 }
 
-func (p *Planner) execute(q string, tr *obs.Trace) ([]*xmltree.Node, Plan, error) {
+func (p *Planner) execute(q string, tr *obs.Trace, m *budget.Meter) ([]*xmltree.Node, Plan, error) {
 	sp := tr.StartSpan("plan")
 	plan, err := p.Plan(q)
 	sp.End()
@@ -398,10 +424,19 @@ func (p *Planner) execute(q string, tr *obs.Trace) ([]*xmltree.Node, Plan, error
 		return nil, Plan{}, err
 	}
 	if plan.Kind == NavPlan {
+		// The axis engine has no internal charge points, so navigation plans
+		// are budgeted at plan granularity: deadline and prior consumption are
+		// checked before the walk, and the result rows are charged after it.
+		if !m.Check() {
+			return nil, plan, m.Err()
+		}
 		sp := tr.StartSpan("navigate")
 		nodes, err := p.engine.Query(q)
 		sp.SetInt("out", int64(len(nodes)))
 		sp.End()
+		if err == nil && !m.ChargeResults(len(nodes)) {
+			return nil, plan, m.Err()
+		}
 		return nodes, plan, err
 	}
 	// DataGuide pruning: a name chain absent from every label path cannot
@@ -418,10 +453,11 @@ func (p *Planner) execute(q string, tr *obs.Trace) ([]*xmltree.Node, Plan, error
 	// or join chain) runs on concrete identifiers and resolves nodes via
 	// the concrete lookup, never boxing a single probe.
 	if rn := p.ix.RUID(); rn != nil {
+		mex := p.exec.WithMeter(m)
 		var ids []core.ID
 		if plan.Kind == TwigPlan {
 			var sp *obs.Span
-			ex := p.exec
+			ex := mex
 			if tr != nil {
 				sp = tr.StartSpan("twig_match " + plan.pattern.String())
 				ex = ex.WithSpan(sp)
@@ -430,7 +466,21 @@ func (p *Planner) execute(q string, tr *obs.Trace) ([]*xmltree.Node, Plan, error
 			sp.SetInt("out", int64(len(ids)))
 			sp.End()
 		} else {
-			ids = p.runChainRUID(rn, plan.chain, tr)
+			ids = p.runChainRUID(rn, plan.chain, tr, mex)
+		}
+		// A tripped meter means the pipeline stopped mid-kernel and ids is a
+		// partial (possibly empty) set: discard it and surface the sentinel.
+		if err := m.Err(); err != nil {
+			tr.Notef("budget: %v", err)
+			return nil, plan, err
+		}
+		// Charge the final identifier set too: a seed-only chain (single
+		// step) materializes its result without passing any join kernel, and
+		// this keeps MaxResults a bound on what reaches the resolver
+		// regardless of plan shape.
+		if !m.ChargeResults(len(ids)) {
+			tr.Notef("budget: %v", m.Err())
+			return nil, plan, m.Err()
 		}
 		sp := tr.StartSpan("resolve")
 		nodes := make([]*xmltree.Node, 0, len(ids))
@@ -444,12 +494,21 @@ func (p *Planner) execute(q string, tr *obs.Trace) ([]*xmltree.Node, Plan, error
 		sp.End()
 		return nodes, plan, nil
 	}
+	// Boxed pipelines run the per-stage kernels without an executor, so —
+	// like navigation — they are budgeted at plan granularity.
+	if !m.Check() {
+		return nil, plan, m.Err()
+	}
 	sp = tr.StartSpan("boxed_pipeline")
 	var ids []scheme.ID
 	if plan.Kind == TwigPlan {
 		ids = twig.Match(plan.pattern, p.ix)
 	} else {
 		ids = p.runChain(plan.chain)
+	}
+	if !m.ChargeResults(len(ids)) {
+		sp.End()
+		return nil, plan, m.Err()
 	}
 	nodes := make([]*xmltree.Node, 0, len(ids))
 	for _, id := range ids {
@@ -471,7 +530,7 @@ func (p *Planner) execute(q string, tr *obs.Trace) ([]*xmltree.Node, Plan, error
 // stage's executor operation records its shard layout and block statistics
 // into that span; the tr == nil checks keep the untraced path free of the
 // span-name allocations.
-func (p *Planner) runChainRUID(rn *core.Numbering, chain []step, tr *obs.Trace) []core.ID {
+func (p *Planner) runChainRUID(rn *core.Numbering, chain []step, tr *obs.Trace, base *exec.Executor) []core.ID {
 	first := chain[0]
 	cur := p.ix.Postings(first.name)
 	if !first.descendant {
@@ -503,7 +562,7 @@ func (p *Planner) runChainRUID(rn *core.Numbering, chain []step, tr *obs.Trace) 
 			return nil
 		}
 		descs := p.ix.Postings(st.name)
-		ex := p.exec
+		ex := base
 		var sp *obs.Span
 		if tr != nil {
 			op, pre := "upward_semi_join", "//"

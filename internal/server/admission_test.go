@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBounds(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if a.Inflight() != 1 {
+		t.Fatalf("inflight = %d, want 1", a.Inflight())
+	}
+
+	// Second request queues; it must be admitted once the slot frees.
+	admitted := make(chan error, 1)
+	go func() { admitted <- a.Acquire(context.Background()) }()
+	for i := 0; a.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Queued() != 1 {
+		t.Fatalf("queued = %d, want 1", a.Queued())
+	}
+
+	// Third request overflows the queue: shed immediately.
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow acquire = %v, want ErrOverloaded", err)
+	}
+	if a.shed.Load() != 1 {
+		t.Fatalf("shed = %d, want 1", a.shed.Load())
+	}
+
+	a.Release()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.Release()
+}
+
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire past deadline = %v, want DeadlineExceeded", err)
+	}
+	if a.Queued() != 0 {
+		t.Fatalf("expired waiter still queued: %d", a.Queued())
+	}
+	a.Release()
+}
+
+func TestAdmissionConcurrent(t *testing.T) {
+	a := newAdmission(4, 64)
+	var wg sync.WaitGroup
+	var ok, shed int
+	var mu sync.Mutex
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				err := a.Acquire(context.Background())
+				if errors.Is(err, ErrOverloaded) {
+					mu.Lock()
+					shed++
+					mu.Unlock()
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				ok++
+				mu.Unlock()
+				a.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Inflight() != 0 || a.Queued() != 0 {
+		t.Fatalf("leaked slots: inflight=%d queued=%d", a.Inflight(), a.Queued())
+	}
+	if ok == 0 {
+		t.Fatalf("no request admitted (shed=%d)", shed)
+	}
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/document"
+)
+
+// Catalog is the server's registry of open documents: many independently
+// numbered documents served concurrently, each with its own epoch chain.
+// The catalog lock guards only the name→document map — never a document's
+// own reader/writer machinery — so queries against one document proceed
+// while another is being opened, updated or dropped. A query pins its
+// epoch with Snapshot at admission and keeps it for the whole request:
+// concurrent writers publish new epochs without ever invalidating an
+// in-flight read (the document facade's snapshot isolation, now spanning a
+// whole catalog).
+type Catalog struct {
+	mu   sync.RWMutex
+	docs map[string]*document.Document
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{docs: make(map[string]*document.Document)}
+}
+
+// ErrUnknownDocument reports a request against a name the catalog does not
+// hold. Test with errors.Is.
+var ErrUnknownDocument = errForm("server: unknown document")
+
+// ErrDuplicateDocument reports an Open against a name already serving.
+var ErrDuplicateDocument = errForm("server: document already open")
+
+type errForm string
+
+func (e errForm) Error() string { return string(e) }
+
+// ValidName reports whether a document name is acceptable: non-empty,
+// at most 128 bytes, and free of path separators (names appear in URLs).
+func ValidName(name string) bool {
+	return name != "" && len(name) <= 128 && !strings.ContainsAny(name, "/\\ \t\n")
+}
+
+// Open parses src and installs it under name. The document is built
+// outside the catalog lock — opening a large document must not stall
+// queries against the documents already serving.
+func (c *Catalog) Open(name, src string, opts document.Options) (*document.Document, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("server: invalid document name %q", name)
+	}
+	c.mu.RLock()
+	_, dup := c.docs[name]
+	c.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateDocument, name)
+	}
+	d, err := document.OpenString(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.docs[name]; dup {
+		// Lost a race against a concurrent Open of the same name; the loser's
+		// document is discarded.
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateDocument, name)
+	}
+	c.docs[name] = d
+	return d, nil
+}
+
+// Get resolves name to its document.
+func (c *Catalog) Get(name string) (*document.Document, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+	}
+	return d, nil
+}
+
+// Drop removes name from the catalog. In-flight queries holding the
+// document's snapshots finish unaffected; the epochs are reclaimed when
+// the last snapshot goes.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.docs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+	}
+	delete(c.docs, name)
+	return nil
+}
+
+// Names lists the open documents, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.docs))
+	for n := range c.docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of open documents.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}

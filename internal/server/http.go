@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/budget"
+	"repro/internal/obs"
+)
+
+// HTTP surface (method+wildcard ServeMux patterns, Go 1.22):
+//
+//	PUT    /v1/docs/{name}         body: XML document  → open into catalog
+//	GET    /v1/docs                 → catalog listing with per-doc stats
+//	GET    /v1/docs/{name}          → document stats
+//	DELETE /v1/docs/{name}          → drop from catalog
+//	POST   /v1/docs/{name}/query    body: QueryRequest  → QueryResponse
+//	POST   /v1/docs/{name}/insert   body: WriteRequest  → stats
+//	POST   /v1/docs/{name}/delete   body: WriteRequest  → stats
+//	GET    /healthz                 → 200 ok (load-balancer probe)
+//
+// plus, when the server is observed, the obs endpoints (/metrics,
+// /metrics.json, /debug/vars, /debug/pprof/) on the same listener.
+//
+// Error mapping is part of the overload contract: 503 + Retry-After for
+// shed requests, 504 for queries that ran out of wall clock, 422 for
+// queries that ran out of postings or result budget, 404/409 for catalog
+// misses and collisions, 400 for malformed inputs.
+
+// WriteRequest is the body of insert/delete calls.
+type WriteRequest struct {
+	Parent string `json:"parent"`
+	Pos    int    `json:"pos"`
+	XML    string `json:"xml,omitempty"` // insert only: the subtree fragment
+}
+
+// DocInfo is one catalog entry in listings.
+type DocInfo struct {
+	Name   string `json:"name"`
+	Scheme string `json:"scheme"`
+	Epoch  int    `json:"epoch"`
+	Nodes  int    `json:"nodes"`
+	Names  int    `json:"names"`
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /v1/docs", s.handleList)
+	mux.HandleFunc("PUT /v1/docs/{name}", s.handleOpen)
+	mux.HandleFunc("GET /v1/docs/{name}", s.handleStats)
+	mux.HandleFunc("DELETE /v1/docs/{name}", s.handleDrop)
+	mux.HandleFunc("POST /v1/docs/{name}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/docs/{name}/insert", s.handleInsert)
+	mux.HandleFunc("POST /v1/docs/{name}/delete", s.handleDelete)
+	if s.reg != nil {
+		// Mount the observability surface on the same listener; the obs
+		// handler owns everything under its prefixes.
+		oh := obs.Handler(s.reg)
+		for _, p := range []string{"/metrics", "/metrics.json", "/debug/"} {
+			mux.Handle("GET "+p, oh)
+		}
+	}
+	return http.MaxBytesHandler(mux, s.cfg.MaxBodyBytes)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	names := s.catalog.Names()
+	infos := make([]DocInfo, 0, len(names))
+	for _, n := range names {
+		d, err := s.catalog.Get(n)
+		if err != nil {
+			continue // dropped between Names and Get
+		}
+		st := d.Stats()
+		infos = append(infos, DocInfo{Name: n, Scheme: st.Scheme, Epoch: st.Epoch, Nodes: st.Nodes, Names: st.Names})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"docs": infos})
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	src, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	d, err := s.Open(name, string(src))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st := d.Stats()
+	writeJSON(w, http.StatusCreated, DocInfo{Name: name, Scheme: st.Scheme, Epoch: st.Epoch, Nodes: st.Nodes, Names: st.Names})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	d, err := s.catalog.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d.Stats())
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if err := s.catalog.Drop(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest("bad query body: "+err.Error()))
+		return
+	}
+	if req.Query == "" {
+		writeErr(w, badRequest("empty query"))
+		return
+	}
+	resp, err := s.Query(r.Context(), r.PathValue("name"), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req WriteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest("bad insert body: "+err.Error()))
+		return
+	}
+	st, err := s.Insert(r.Context(), r.PathValue("name"), req.Parent, req.Pos, req.XML)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req WriteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest("bad delete body: "+err.Error()))
+		return
+	}
+	st, err := s.Delete(r.Context(), r.PathValue("name"), req.Parent, req.Pos)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+type badRequest string
+
+func (e badRequest) Error() string { return string(e) }
+
+// writeErr maps an error to its HTTP status. The mapping is the client's
+// contract for distinguishing "back off" (503), "ask for less" (422),
+// "took too long" (504) and plain mistakes (4xx).
+func writeErr(w http.ResponseWriter, err error) {
+	var status int
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, budget.ErrPostingsBudget), errors.Is(err, budget.ErrResultBudget):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrUnknownDocument):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDuplicateDocument):
+		status = http.StatusConflict
+	default:
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error(), "status": strconv.Itoa(status)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,330 @@
+// Package server is the multi-document query server over the document
+// facade: a catalog of independently numbered XML documents served
+// concurrently over HTTP, every query executing against a pinned epoch
+// under an enforced resource budget.
+//
+// The layering realizes the repo's end state as a service:
+//
+//	HTTP API  →  admission (bounded inflight + bounded queue, deadline-
+//	aware shedding)  →  catalog (name → document)  →  snapshot pin  →
+//	budgeted planner run (budget.Meter threaded through the executor
+//	into the seek-based join kernels).
+//
+// Overload degrades gracefully rather than collapsing: requests beyond
+// the inflight and queue bounds are shed immediately with 503 and a
+// Retry-After hint, queued requests whose deadlines lapse leave the queue
+// without executing, and admitted queries are bounded in postings decoded,
+// result rows materialized and wall clock — a runaway query terminates
+// inside the join kernels with a sentinel the API maps to 422 or 504.
+// Saturation behavior is measured by cmd/ruidload (EXPERIMENTS.md E16).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/document"
+	"repro/internal/obs"
+	"repro/internal/xmltree"
+)
+
+// Config configures a Server. The zero value serves with sensible bounds.
+type Config struct {
+	// MaxInflight bounds concurrently executing requests; 0 means
+	// GOMAXPROCS (each request may itself parallelize over the executor's
+	// pool, so inflight × workers is the true CPU fan-out ceiling).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it
+	// requests are shed with 503. 0 means 4 × MaxInflight.
+	MaxQueue int
+	// DefaultLimits apply to queries that do not set their own budget
+	// fields. Zero fields are unlimited.
+	DefaultLimits budget.Limits
+	// MaxLimits cap what a request may ask for (0 fields uncapped): the
+	// server's hard ceiling against a client requesting an unbounded run.
+	MaxLimits budget.Limits
+	// DefaultTimeout is the per-query wall-clock budget when the request
+	// does not set one; 0 means no server-imposed deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-query deadline a request may ask for.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (documents uploads included);
+	// 0 means 64 MiB.
+	MaxBodyBytes int64
+	// Observe, when non-nil, receives the server's metrics (and is mounted
+	// at /metrics, /metrics.json and /debug on the same listener).
+	Observe *obs.Registry
+	// DocumentOptions are the facade options for every document the server
+	// opens; the Observe registry above is attached automatically.
+	DocumentOptions document.Options
+}
+
+// Server executes catalog requests. Create with New; start HTTP service
+// with Serve or mount Handler on a listener of your own.
+type Server struct {
+	cfg     Config
+	catalog *Catalog
+	adm     *admission
+	reg     *obs.Registry
+	sm      *serverMetrics
+}
+
+// serverMetrics holds the registry pointers the server records into; nil
+// when unobserved (each obs type is nil-safe, same idiom as the engine).
+type serverMetrics struct {
+	queries        *obs.Counter
+	queryNS        *obs.Histogram
+	writes         *obs.Counter
+	budgetPostings *obs.Counter
+	budgetResults  *obs.Counter
+	deadlines      *obs.Counter
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInflight
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	cfg.DocumentOptions.Observe = cfg.Observe
+	s := &Server{
+		cfg:     cfg,
+		catalog: NewCatalog(),
+		adm:     newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		reg:     cfg.Observe,
+	}
+	if r := cfg.Observe; r != nil {
+		s.sm = &serverMetrics{
+			queries:        r.Counter("server.queries"),
+			queryNS:        r.Histogram("server.query_ns"),
+			writes:         r.Counter("server.writes"),
+			budgetPostings: r.Counter("server.budget_postings_exceeded"),
+			budgetResults:  r.Counter("server.budget_results_exceeded"),
+			deadlines:      r.Counter("server.deadline_exceeded"),
+		}
+		r.RegisterFunc("server.inflight", s.adm.Inflight)
+		r.RegisterFunc("server.queued", s.adm.Queued)
+		r.RegisterFunc("server.shed", s.adm.shed.Load)
+		r.RegisterFunc("server.admitted", s.adm.admitted.Load)
+		r.RegisterFunc("server.docs", func() int64 { return int64(s.catalog.Len()) })
+	}
+	return s
+}
+
+// Catalog exposes the server's document catalog (tests and embedders).
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// QueryRequest is one query execution request. Budget fields at zero
+// inherit the server's defaults; set fields are capped by the server's
+// MaxLimits/MaxTimeout.
+type QueryRequest struct {
+	Query string `json:"query"`
+	// MaxPostings bounds postings decoded/scanned by the join kernels.
+	MaxPostings int64 `json:"maxPostings,omitempty"`
+	// MaxResults bounds identifier rows materialized.
+	MaxResults int64 `json:"maxResults,omitempty"`
+	// TimeoutMS bounds wall clock, enforced via context deadline.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+	// IncludePaths returns the result nodes' slash paths (costly on large
+	// results; counts alone are the load-test mode).
+	IncludePaths bool `json:"includePaths,omitempty"`
+}
+
+// QueryResponse reports one executed query.
+type QueryResponse struct {
+	Count     int      `json:"count"`
+	Plan      string   `json:"plan"`
+	Epoch     uint64   `json:"epoch"`
+	Postings  int64    `json:"postings"`
+	Results   int64    `json:"results"`
+	ElapsedUS int64    `json:"elapsedUs"`
+	Paths     []string `json:"paths,omitempty"`
+}
+
+// effectiveLimits resolves a request's budget against defaults and caps.
+func (s *Server) effectiveLimits(req QueryRequest) (budget.Limits, time.Duration) {
+	lim := budget.Limits{MaxPostings: req.MaxPostings, MaxResults: req.MaxResults}
+	if lim.MaxPostings == 0 {
+		lim.MaxPostings = s.cfg.DefaultLimits.MaxPostings
+	}
+	if lim.MaxResults == 0 {
+		lim.MaxResults = s.cfg.DefaultLimits.MaxResults
+	}
+	if m := s.cfg.MaxLimits.MaxPostings; m > 0 && (lim.MaxPostings == 0 || lim.MaxPostings > m) {
+		lim.MaxPostings = m
+	}
+	if m := s.cfg.MaxLimits.MaxResults; m > 0 && (lim.MaxResults == 0 || lim.MaxResults > m) {
+		lim.MaxResults = m
+	}
+	to := time.Duration(req.TimeoutMS) * time.Millisecond
+	if to <= 0 {
+		to = s.cfg.DefaultTimeout
+	}
+	if m := s.cfg.MaxTimeout; m > 0 && (to <= 0 || to > m) {
+		to = m
+	}
+	return lim, to
+}
+
+// Query admits, budgets and executes one query against the named document.
+// This is the programmatic core the HTTP handler wraps; tests drive it
+// directly.
+func (s *Server) Query(ctx context.Context, doc string, req QueryRequest) (*QueryResponse, error) {
+	d, err := s.catalog.Get(doc)
+	if err != nil {
+		return nil, err
+	}
+	lim, timeout := s.effectiveLimits(req)
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	// Admission after deadline derivation: time spent queued counts against
+	// the query's own deadline, so a request that waited out its budget is
+	// shed by the queue instead of executing past it.
+	if err := s.adm.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.Release()
+
+	start := time.Now()
+	snap := d.Snapshot() // pin the epoch for the whole request
+	m := budget.NewMeter(ctx, lim)
+	nodes, plan, err := snap.QueryMetered(req.Query, nil, m)
+	elapsed := time.Since(start)
+	if s.sm != nil {
+		s.sm.queries.Inc()
+		s.sm.queryNS.Observe(elapsed.Nanoseconds())
+		switch {
+		case errors.Is(err, budget.ErrPostingsBudget):
+			s.sm.budgetPostings.Inc()
+		case errors.Is(err, budget.ErrResultBudget):
+			s.sm.budgetResults.Inc()
+		case errors.Is(err, context.DeadlineExceeded):
+			s.sm.deadlines.Inc()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := &QueryResponse{
+		Count:     len(nodes),
+		Plan:      plan.Kind.String(),
+		Epoch:     snap.Epoch(),
+		Postings:  m.Postings(),
+		Results:   m.Results(),
+		ElapsedUS: elapsed.Microseconds(),
+	}
+	if req.IncludePaths {
+		resp.Paths = make([]string, len(nodes))
+		for i, n := range nodes {
+			resp.Paths[i] = n.Path()
+		}
+	}
+	return resp, nil
+}
+
+// Open parses src and installs it in the catalog under name.
+func (s *Server) Open(name, src string) (*document.Document, error) {
+	return s.catalog.Open(name, src, s.cfg.DocumentOptions)
+}
+
+// Insert admits and executes one structural insert on the named document.
+func (s *Server) Insert(ctx context.Context, doc, parentPath string, pos int, xml string) (document.Stats, error) {
+	return s.write(ctx, doc, func(d *document.Document) error {
+		sub, err := parseFragment(xml)
+		if err != nil {
+			return err
+		}
+		_, err = d.Insert(parentPath, pos, sub)
+		return err
+	})
+}
+
+// Delete admits and executes one structural delete on the named document.
+func (s *Server) Delete(ctx context.Context, doc, parentPath string, pos int) (document.Stats, error) {
+	return s.write(ctx, doc, func(d *document.Document) error {
+		_, err := d.Delete(parentPath, pos)
+		return err
+	})
+}
+
+func (s *Server) write(ctx context.Context, doc string, op func(*document.Document) error) (document.Stats, error) {
+	d, err := s.catalog.Get(doc)
+	if err != nil {
+		return document.Stats{}, err
+	}
+	if to := s.cfg.MaxTimeout; to > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, to)
+		defer cancel()
+	}
+	if err := s.adm.Acquire(ctx); err != nil {
+		return document.Stats{}, err
+	}
+	defer s.adm.Release()
+	if s.sm != nil {
+		s.sm.writes.Inc()
+	}
+	if err := op(d); err != nil {
+		return document.Stats{}, err
+	}
+	return d.Stats(), nil
+}
+
+// parseFragment parses one XML element fragment into a detached subtree
+// ready for Document.Insert.
+func parseFragment(src string) (*xmltree.Node, error) {
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		return nil, fmt.Errorf("server: bad fragment: %w", err)
+	}
+	el := doc.DocumentElement()
+	if el == nil {
+		return nil, errors.New("server: fragment holds no element")
+	}
+	el.Detach()
+	return el, nil
+}
+
+// Serve starts the server on addr (":0" picks a free port) and returns
+// immediately; requests are served on a background goroutine until Close.
+// The HTTP server carries the hardened obs connection deadlines — the
+// query server must not be softer against slow-loris clients than the
+// debug endpoint.
+func (s *Server) Serve(addr string) (*Running, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := obs.NewHTTPServer(s.Handler())
+	go func() { _ = srv.Serve(l) }()
+	return &Running{l: l, srv: srv}, nil
+}
+
+// Running is a started server.
+type Running struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (host:port).
+func (r *Running) Addr() string { return r.l.Addr().String() }
+
+// Close shuts the listener down immediately.
+func (r *Running) Close() error { return r.srv.Close() }
+
+// Shutdown drains in-flight requests before closing.
+func (r *Running) Shutdown(ctx context.Context) error { return r.srv.Shutdown(ctx) }

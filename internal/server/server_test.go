@@ -1,0 +1,237 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/obs"
+	"repro/internal/xmltree"
+)
+
+func xmarkSrc(scale int, seed int64) string {
+	return xmltree.Serialize(xmltree.XMark(scale, seed))
+}
+
+func TestHTTPRoundtrip(t *testing.T) {
+	s := New(Config{Observe: obs.NewRegistry()})
+	run, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	base := "http://" + run.Addr()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	do := func(method, path, body string) (int, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	if code, _ := do("GET", "/healthz", ""); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+
+	// Open a document; re-opening the same name conflicts.
+	code, body := do("PUT", "/v1/docs/bench", xmarkSrc(2, 7))
+	if code != http.StatusCreated {
+		t.Fatalf("open: %d %s", code, body)
+	}
+	var info DocInfo
+	if err := json.Unmarshal(body, &info); err != nil || info.Nodes == 0 {
+		t.Fatalf("open response: %s (%v)", body, err)
+	}
+	if code, _ := do("PUT", "/v1/docs/bench", xmarkSrc(2, 5)); code != http.StatusConflict {
+		t.Fatalf("duplicate open: %d, want 409", code)
+	}
+
+	// Query with paths; verify against a locally opened copy of the same
+	// generated document.
+	code, body = do("POST", "/v1/docs/bench/query",
+		`{"query":"/site//item/name","includePaths":true}`)
+	if code != 200 {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count == 0 || len(qr.Paths) != qr.Count || qr.Postings == 0 {
+		t.Fatalf("query response: %+v", qr)
+	}
+
+	// Structural write, then the same query sees the new epoch.
+	ins := WriteRequest{Parent: "/site/regions", Pos: 0,
+		XML: "<item><name>inserted</name></item>"}
+	ib, _ := json.Marshal(ins)
+	if code, body = do("POST", "/v1/docs/bench/insert", string(ib)); code != 200 {
+		t.Fatalf("insert: %d %s", code, body)
+	}
+	code, body = do("POST", "/v1/docs/bench/query", `{"query":"/site//item/name"}`)
+	if code != 200 {
+		t.Fatalf("query after insert: %d %s", code, body)
+	}
+	var qr2 QueryResponse
+	_ = json.Unmarshal(body, &qr2)
+	if qr2.Count != qr.Count+1 {
+		t.Fatalf("query after insert: count %d, want %d", qr2.Count, qr.Count+1)
+	}
+	if qr2.Epoch <= qr.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", qr.Epoch, qr2.Epoch)
+	}
+
+	// Budget exceeded maps to 422.
+	code, body = do("POST", "/v1/docs/bench/query", `{"query":"/site//item/name","maxPostings":1}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("budget query: %d %s, want 422", code, body)
+	}
+
+	// Unknown document maps to 404; bad body to 400.
+	if code, _ = do("POST", "/v1/docs/nope/query", `{"query":"//a"}`); code != 404 {
+		t.Fatalf("unknown doc: %d, want 404", code)
+	}
+	if code, _ = do("POST", "/v1/docs/bench/query", "{"); code != 400 {
+		t.Fatalf("bad body: %d, want 400", code)
+	}
+
+	// Listing and stats.
+	code, body = do("GET", "/v1/docs", "")
+	if code != 200 || !bytes.Contains(body, []byte(`"bench"`)) {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	if code, _ = do("GET", "/v1/docs/bench", ""); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+
+	// Observability is mounted on the same listener.
+	code, body = do("GET", "/metrics", "")
+	if code != 200 || !bytes.Contains(body, []byte("server.queries")) {
+		t.Fatalf("metrics: %d %s", code, body)
+	}
+
+	// Drop; the document is gone.
+	if code, _ = do("DELETE", "/v1/docs/bench", ""); code != http.StatusNoContent {
+		t.Fatalf("drop: %d", code)
+	}
+	if code, _ = do("GET", "/v1/docs/bench", ""); code != 404 {
+		t.Fatalf("stats after drop: %d, want 404", code)
+	}
+}
+
+func TestQueryBudgetSentinels(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Open("d", xmarkSrc(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Query(context.Background(), "d",
+		QueryRequest{Query: "/site//item/name", MaxPostings: 1})
+	if !errors.Is(err, budget.ErrPostingsBudget) {
+		t.Fatalf("err = %v, want ErrPostingsBudget", err)
+	}
+	_, err = s.Query(context.Background(), "d",
+		QueryRequest{Query: "//item", MaxResults: 1})
+	if !errors.Is(err, budget.ErrResultBudget) {
+		t.Fatalf("err = %v, want ErrResultBudget", err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err = s.Query(ctx, "d", QueryRequest{Query: "/site//item/name"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestServerLimitsCapRequests: a request cannot out-ask the server's
+// ceiling — MaxLimits caps explicit requests and fills unlimited ones.
+func TestServerLimitsCapRequests(t *testing.T) {
+	s := New(Config{MaxLimits: budget.Limits{MaxPostings: 10}})
+	if _, err := s.Open("d", xmarkSrc(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []QueryRequest{
+		{Query: "/site//item/name"},                       // inherits the cap
+		{Query: "/site//item/name", MaxPostings: 1 << 40}, // asks above it
+	} {
+		if _, err := s.Query(context.Background(), "d", req); !errors.Is(err, budget.ErrPostingsBudget) {
+			t.Fatalf("req %+v: err = %v, want ErrPostingsBudget", req, err)
+		}
+	}
+}
+
+// TestOverloadSheds drives a 1-slot, 1-queue server with a long-held slot
+// and checks the third request is shed as 503 with Retry-After.
+func TestOverloadSheds(t *testing.T) {
+	s := New(Config{MaxInflight: 1, MaxQueue: 1, Observe: obs.NewRegistry()})
+	if _, err := s.Open("d", xmarkSrc(2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only slot directly.
+	if err := s.adm.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fills the queue...
+	queued := make(chan error, 1)
+	go func() {
+		_, err := s.Query(context.Background(), "d", QueryRequest{Query: "//item"})
+		queued <- err
+	}()
+	for i := 0; s.adm.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	// ...so the next request is shed.
+	_, err := s.Query(context.Background(), "d", QueryRequest{Query: "//item"})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	s.adm.Release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued query after release: %v", err)
+	}
+
+	// The HTTP mapping: 503 + Retry-After.
+	if err := s.adm.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = s.Query(context.Background(), "d", QueryRequest{Query: "//item"})
+	}()
+	for i := 0; s.adm.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	run, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/docs/d/query", run.Addr()),
+		"application/json", strings.NewReader(`{"query":"//item"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	s.adm.Release()
+}
