@@ -6,7 +6,8 @@
 //
 //	xq [-nav ruid|uid|pointer|planner] [-area N] [-serialize]
 //	   [-explain-analyze] [-stats] [-parallel auto|serial|forced]
-//	   [-workers N] [-serve addr] 'xpath' [file.xml]
+//	   [-workers N] [-serve addr] [-pool-pages N] [-cold]
+//	   'xpath' [file.xml]
 //
 // With no file argument the document is read from standard input. The ruid
 // and planner modes go through the internal/document facade, the same stack
@@ -21,9 +22,19 @@
 //   - -stats dumps the engine metric registry after the query.
 //   - -serve addr keeps the process alive after the query, exposing
 //     /metrics, /metrics.json, /debug/vars and /debug/pprof on addr.
+//
+// Out-of-core flags (facade modes):
+//
+//   - -pool-pages N backs postings and node payloads with an N-frame
+//     buffer pool instead of resident slices; the I/O ledger is printed
+//     to standard error after the query.
+//   - -cold round-trips the document through a saved bundle and reopens
+//     it cold: nothing is materialized up front, and the query faults in
+//     only the pages it touches.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +61,8 @@ type config struct {
 	parallel  string // -parallel: auto | serial | forced
 	workers   int    // -workers: query worker cap (0 = GOMAXPROCS)
 	serve     string // -serve: observability HTTP address ("" = off)
+	poolPages int    // -pool-pages: buffer-pool frames (0 = resident)
+	cold      bool   // -cold: reopen from a bundle before querying
 }
 
 func main() {
@@ -63,6 +76,8 @@ func main() {
 	flag.StringVar(&cfg.parallel, "parallel", "auto", "identifier pipeline scheduling: auto, serial or forced")
 	flag.IntVar(&cfg.workers, "workers", 0, "query worker cap (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.serve, "serve", "", "serve /metrics and /debug/pprof on this address after the query")
+	flag.IntVar(&cfg.poolPages, "pool-pages", 0, "back postings and node payloads with an N-frame buffer pool (ruid scheme only)")
+	flag.BoolVar(&cfg.cold, "cold", false, "round-trip through a saved bundle and reopen cold before querying")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xq [flags] 'xpath' [file.xml]\n")
 		flag.PrintDefaults()
@@ -111,6 +126,7 @@ func run(cfg config, query, path string, out io.Writer) error {
 		Partition:   core.PartitionConfig{MaxAreaNodes: cfg.area, AdjustFanout: true},
 		Parallel:    mode,
 		ExecWorkers: cfg.workers,
+		PoolPages:   cfg.poolPages,
 	}
 	var reg *obs.Registry
 	if cfg.stats || cfg.serve != "" {
@@ -120,6 +136,38 @@ func run(cfg config, query, path string, out io.Writer) error {
 	nav := cfg.nav
 	if cfg.explain {
 		nav = "planner"
+	}
+
+	// open builds the facade document; with -cold it then round-trips
+	// through an in-memory bundle and reopens, so the returned document
+	// serves the query out-of-core from a clean (empty-pool) start.
+	open := func(in io.Reader) (*document.Document, error) {
+		d, err := document.Open(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.cold {
+			return d, nil
+		}
+		var bundle bytes.Buffer
+		if err := d.SaveBundle(&bundle); err != nil {
+			return nil, fmt.Errorf("saving bundle: %w", err)
+		}
+		cold, err := document.OpenBundle(&bundle, opts)
+		if err != nil {
+			return nil, fmt.Errorf("reopening bundle: %w", err)
+		}
+		return cold, nil
+	}
+
+	// ioReport prints the buffer-pool ledger for out-of-core documents.
+	ioReport := func(d *document.Document) {
+		if d.Store() == nil {
+			return
+		}
+		st := d.IOStats()
+		fmt.Fprintf(os.Stderr, "io: reads=%d writes=%d hits=%d evictions=%d (pool %d pages)\n",
+			st.Reads, st.Writes, st.CacheHits, st.Evictions, d.Store().Pager().Capacity())
 	}
 
 	// finish dumps metrics and/or parks the process on the observability
@@ -141,7 +189,7 @@ func run(cfg config, query, path string, out io.Writer) error {
 
 	switch nav {
 	case "planner":
-		d, err := document.Open(in, opts)
+		d, err := open(in)
 		if err != nil {
 			return err
 		}
@@ -151,6 +199,7 @@ func run(cfg config, query, path string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprint(out, report)
+			ioReport(d)
 			return finish()
 		}
 		results, plan, err := d.Query(query)
@@ -161,10 +210,11 @@ func run(cfg config, query, path string, out io.Writer) error {
 		if err := printResults(out, results, cfg.serialize); err != nil {
 			return err
 		}
+		ioReport(d)
 		return finish()
 
 	case "ruid":
-		d, err := document.Open(in, opts)
+		d, err := open(in)
 		if err != nil {
 			return err
 		}
@@ -184,11 +234,15 @@ func run(cfg config, query, path string, out io.Writer) error {
 		if err := printResults(out, results, cfg.serialize); err != nil {
 			return err
 		}
+		ioReport(d)
 		return finish()
 
 	case "uid", "pointer":
 		if cfg.stats || cfg.serve != "" {
 			return fmt.Errorf("-stats and -serve need the facade: use -nav ruid or -nav planner")
+		}
+		if cfg.cold || cfg.poolPages > 0 {
+			return fmt.Errorf("-cold and -pool-pages need the facade: use -nav ruid or -nav planner")
 		}
 		doc, err := xmltree.Parse(in)
 		if err != nil {

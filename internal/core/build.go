@@ -66,6 +66,12 @@ type area struct {
 	// clustered (global, local) index of the stored document.
 	locals map[int64]*xmltree.Node
 
+	// boundary inverts locals for the boundary leaves only: lower-area
+	// root -> its local slot here. Filled during enumeration so step 4 of
+	// renumberAll resolves each area root's upper-area slot in O(1)
+	// instead of scanning the upper area (quadratic on wide documents).
+	boundary map[*xmltree.Node]int64
+
 	sortedLocals []int64 // keys of locals in increasing order
 	sortedDirty  bool
 }
@@ -257,7 +263,7 @@ func (n *Numbering) renumberAll() error {
 			continue
 		}
 		upper := n.areas[a.parentGlobal]
-		l, ok := upper.localOf(a.root)
+		l, ok := upper.boundary[a.root]
 		if !ok {
 			return fmt.Errorf("core: area %d root %s not enumerated in upper area %d",
 				g, a.root.Path(), a.parentGlobal)
@@ -267,18 +273,6 @@ func (n *Numbering) renumberAll() error {
 		n.setID(a.root, ID{Global: g, Local: l, Root: true})
 	}
 	return nil
-}
-
-// localOf returns the local index a node occupies inside area a.
-func (a *area) localOf(node *xmltree.Node) (int64, bool) {
-	// locals is index->node; invert by scanning is O(area); keep a lookup
-	// through the enumeration below instead.
-	for l, x := range a.locals {
-		if x == node {
-			return l, true
-		}
-	}
-	return 0, false
 }
 
 // enumerateArea performs steps 5–6 of Fig. 3 for one area: find the local
@@ -309,7 +303,12 @@ func (n *Numbering) enumerateArea(a *area) error {
 	assign = func(x *xmltree.Node, local int64) error {
 		a.locals[local] = x
 		if x != a.root && n.areaRoots[x] {
-			return nil // boundary leaf: a lower area continues below
+			// Boundary leaf: a lower area continues below.
+			if a.boundary == nil {
+				a.boundary = make(map[*xmltree.Node]int64)
+			}
+			a.boundary[x] = local
+			return nil
 		}
 		if x != a.root || a.global == 1 {
 			// Interior node: final identifier. (The document root is both

@@ -74,6 +74,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/scheme"
+	"repro/internal/storage"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -110,6 +111,14 @@ type Options struct {
 	// registry for the document's whole lifetime. nil (the default) leaves
 	// every hot path on its unobserved branch.
 	Observe *obs.Registry
+	// PoolPages, when positive, puts the document in out-of-core mode:
+	// postings block bytes and node payloads live in storage.Pager pages
+	// behind a shared buffer pool of PoolPages frames, faulted on demand by
+	// the query kernels; only table K, the skip tables and the DataGuide
+	// stay memory-resident. Requires the ruid scheme. Queries over a paged
+	// document report their page I/O per stage in EXPLAIN ANALYZE, and a
+	// fault failure surfaces as an *index.PagedError from Query.
+	PoolPages int
 }
 
 func (o Options) coreOptions() core.Options {
@@ -153,6 +162,15 @@ type Document struct {
 	// depths) incrementally, so publication need not re-walk the document.
 	nodeCount int
 	depthSum  int
+
+	// Out-of-core mode (Options.PoolPages > 0): store holds the postings
+	// blobs and the node-payload table behind one shared buffer pool, and
+	// every published snapshot's index pages its block bytes through it.
+	// readonly marks a cold-opened document (OpenBundle), whose master tree
+	// is shared with its snapshot and therefore must not be mutated.
+	poolPages int
+	store     *storage.DocStore
+	readonly  bool
 
 	epoch uint64
 	cur   atomic.Pointer[Snapshot]
@@ -210,6 +228,9 @@ func FromTree(doc *xmltree.Node, opts Options) (*Document, error) {
 	if name == "auto" {
 		name = scheme.Pick(xmltree.Measure(doc))
 	}
+	if opts.PoolPages > 0 && name != "ruid" {
+		return nil, fmt.Errorf("document: out-of-core mode (PoolPages) requires the ruid scheme, got %q", name)
+	}
 	d := &Document{
 		opts:       opts.coreOptions(),
 		exec:       exec.New(exec.Config{Mode: opts.Parallel, Workers: opts.ExecWorkers, Observe: opts.Observe}),
@@ -217,6 +238,7 @@ func FromTree(doc *xmltree.Node, opts Options) (*Document, error) {
 		dm:         newDocMetrics(opts.Observe),
 		master:     doc,
 		schemeName: name,
+		poolPages:  opts.PoolPages,
 	}
 	if name == "ruid" {
 		num, err := core.Build(doc, d.opts)
@@ -322,6 +344,12 @@ func (d *Document) publishLocked(delta *core.Delta, nodes, depths int) error {
 	snap.epoch = d.epoch
 	d.cur.Store(snap)
 	d.nodeCount, d.depthSum = nodes, depths
+	// In out-of-core mode the payload table follows the delta: the new
+	// epoch's index already shares paged lists for untouched names
+	// (ApplyDelta re-encodes touched ones resident), and the node rows move
+	// with their relabels. Applied after the epoch is installed — the store
+	// serves the latest epoch.
+	d.maintainPayloadsLocked(delta)
 	d.noteEpochLocked(false, st, time.Since(start))
 	return nil
 }
@@ -341,19 +369,28 @@ func (d *Document) publishFullLocked(nodes, depths int) error {
 		return err
 	}
 	d.m2e = mapping
-	d.epoch++
 	planner := query.New(tree, num)
 	planner.SetExecutor(d.exec)
 	planner.SetObserver(d.reg)
-	d.cur.Store(&Snapshot{
-		epoch:      d.epoch,
+	snap := &Snapshot{
 		tree:       tree,
 		num:        num,
 		s:          num,
 		schemeName: "ruid",
 		planner:    planner,
 		nodes:      nodes,
-	})
+	}
+	if d.poolPages > 0 {
+		// Out-of-core mode: replace the freshly built resident snapshot with
+		// its paged form (block bytes and payloads in a new DocStore) before
+		// it becomes visible, so readers never see a half-paged epoch.
+		if err := d.pageOutSnapshot(snap, depths); err != nil {
+			return err
+		}
+	}
+	d.epoch++
+	snap.epoch = d.epoch
+	d.cur.Store(snap)
 	d.nodeCount, d.depthSum = nodes, depths
 	d.noteEpochLocked(true, index.DeltaStats{}, time.Since(start))
 	return nil
@@ -392,6 +429,7 @@ func (d *Document) assembleDeltaLocked(prev *Snapshot, delta *core.Delta, nodes,
 	planner := query.NewWithState(tree, num, ix, guide, nodes, depths)
 	planner.SetExecutor(d.exec)
 	planner.SetObserver(d.reg)
+	d.wireIOStats(planner)
 	return &Snapshot{
 		tree:       tree,
 		num:        num,
@@ -490,6 +528,9 @@ func (d *Document) Query(q string) ([]*xmltree.Node, query.Plan, error) {
 func (d *Document) Insert(parentPath string, pos int, child *xmltree.Node) (scheme.UpdateStats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.readonly {
+		return scheme.UpdateStats{}, ErrColdDocument
+	}
 	parent, err := d.findOneLocked(parentPath)
 	if err != nil {
 		return scheme.UpdateStats{}, err
@@ -523,6 +564,9 @@ func (d *Document) Insert(parentPath string, pos int, child *xmltree.Node) (sche
 func (d *Document) Delete(parentPath string, pos int) (scheme.UpdateStats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.readonly {
+		return scheme.UpdateStats{}, ErrColdDocument
+	}
 	parent, err := d.findOneLocked(parentPath)
 	if err != nil {
 		return scheme.UpdateStats{}, err

@@ -1,0 +1,212 @@
+package document_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/document"
+	"repro/internal/xmltree"
+)
+
+// pagedLibraryXML is large enough that its postings span multiple pages
+// under a small pool, while staying fully deterministic.
+func pagedLibraryXML() string {
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for s := 0; s < 12; s++ {
+		fmt.Fprintf(&sb, `<shelf floor="%d">`, s%3)
+		for b := 0; b < 40; b++ {
+			fmt.Fprintf(&sb, "<book><title>t%d.%d</title><author>a%d</author></book>", s, b, b%7)
+		}
+		sb.WriteString("</shelf>")
+	}
+	sb.WriteString("</lib>")
+	return sb.String()
+}
+
+var pagedQueries = []string{
+	"/lib/shelf/book/title",
+	"//book//author",
+	"//book[author]/title",
+	"//shelf[@floor='2']/book/title",
+	"//title/text()",
+	"//shelf//book",
+}
+
+// queryPaths runs q and returns the sorted result paths.
+func queryPaths(t *testing.T, d *document.Document, q string) []string {
+	t.Helper()
+	got, _, err := d.Query(q)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	return sortedPaths(got)
+}
+
+// TestPagedEngineMatchesResident is the oracle test of the out-of-core
+// acceptance bar: the same document opened resident and opened with a tiny
+// buffer pool must answer every query identically — before and after a
+// series of identical structural updates (which exercise both incremental
+// payload maintenance and full re-page-out publications).
+func TestPagedEngineMatchesResident(t *testing.T) {
+	src := pagedLibraryXML()
+	opts := document.Options{Partition: core.PartitionConfig{MaxAreaNodes: 32, AdjustFanout: true}}
+	resident, err := document.OpenString(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popts := opts
+	popts.PoolPages = 8
+	paged, err := document.OpenString(src, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paged.Store() == nil || resident.Store() != nil {
+		t.Fatalf("Store(): paged=%v resident=%v", paged.Store(), resident.Store())
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for _, q := range pagedQueries {
+			want := queryPaths(t, resident, q)
+			got := queryPaths(t, paged, q)
+			if strings.Join(got, "|") != strings.Join(want, "|") {
+				t.Fatalf("%s: Query(%q): paged %v, resident %v", stage, q, got, want)
+			}
+		}
+	}
+	check("initial")
+
+	// Cold re-run: even with every page dropped the answers are identical
+	// and the faults are visible in the I/O ledger.
+	paged.DropCaches()
+	paged.ResetIOStats()
+	check("cold")
+	if st := paged.IOStats(); st.Reads == 0 {
+		t.Fatalf("cold queries over a paged document issued no reads: %v", st)
+	}
+
+	// Identical update histories must keep the engines in lockstep.
+	for step := 0; step < 12; step++ {
+		shelf := fmt.Sprintf("/lib/shelf[%d]", step%12+1)
+		if step%3 == 2 {
+			if _, err := resident.Delete(shelf, 0); err != nil {
+				t.Fatalf("step %d: resident delete: %v", step, err)
+			}
+			if _, err := paged.Delete(shelf, 0); err != nil {
+				t.Fatalf("step %d: paged delete: %v", step, err)
+			}
+		} else {
+			mk := func() *xmltree.Node {
+				book := xmltree.NewElement("book")
+				title := xmltree.NewElement("title")
+				title.AppendChild(xmltree.NewText(fmt.Sprintf("new%d", step)))
+				book.AppendChild(title)
+				return book
+			}
+			if _, err := resident.Insert(shelf, step%5, mk()); err != nil {
+				t.Fatalf("step %d: resident insert: %v", step, err)
+			}
+			if _, err := paged.Insert(shelf, step%5, mk()); err != nil {
+				t.Fatalf("step %d: paged insert: %v", step, err)
+			}
+		}
+		check(fmt.Sprintf("after step %d", step))
+	}
+}
+
+// TestPoolPagesRequiresRUID: out-of-core mode is a ruid feature; other
+// schemes cannot promise Lemma 1's resident navigation.
+func TestPoolPagesRequiresRUID(t *testing.T) {
+	_, err := document.OpenString(librarySrc, document.Options{PoolPages: 8, Scheme: "prepost"})
+	if err == nil || !strings.Contains(err.Error(), "requires the ruid scheme") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestColdBundleRoundTrip: SaveBundle → OpenBundle serves byte-identical
+// answers without materializing postings, refuses writes, re-saves the
+// identical bundle, and reports honest cold/warm I/O.
+func TestColdBundleRoundTrip(t *testing.T) {
+	src := pagedLibraryXML()
+	opts := document.Options{Partition: core.PartitionConfig{MaxAreaNodes: 32, AdjustFanout: true}}
+	orig, err := document.OpenString(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle bytes.Buffer
+	if err := orig.SaveBundle(&bundle); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), bundle.Bytes()...)
+
+	cold, err := document.OpenBundle(bytes.NewReader(saved), document.Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.IOStats(); st.Reads != 0 || st.CacheHits != 0 {
+		t.Fatalf("cold open left I/O on the ledger: %v", st)
+	}
+	for _, q := range pagedQueries {
+		want := queryPaths(t, orig, q)
+		got := queryPaths(t, cold, q)
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Fatalf("Query(%q): cold %v, orig %v", q, got, want)
+		}
+	}
+	coldStats := cold.IOStats()
+	if coldStats.Reads == 0 {
+		t.Fatalf("cold queries issued no reads: %v", coldStats)
+	}
+
+	// Warm re-run over an ample pool pays hits, not reads.
+	warm, err := document.OpenBundle(bytes.NewReader(saved), document.Options{PoolPages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range pagedQueries {
+		queryPaths(t, warm, q)
+	}
+	warm.ResetIOStats()
+	for _, q := range pagedQueries {
+		queryPaths(t, warm, q)
+	}
+	if st := warm.IOStats(); st.Reads != 0 || st.CacheHits == 0 {
+		t.Fatalf("warm re-run should be all hits: %v", st)
+	}
+
+	// Cold documents are read-only.
+	book := xmltree.NewElement("book")
+	if _, err := cold.Insert("/lib/shelf[1]", 0, book); !errors.Is(err, document.ErrColdDocument) {
+		t.Fatalf("Insert on cold doc: %v", err)
+	}
+	if _, err := cold.Delete("/lib/shelf[1]", 0); !errors.Is(err, document.ErrColdDocument) {
+		t.Fatalf("Delete on cold doc: %v", err)
+	}
+
+	// Re-saving the cold document reproduces the bundle byte-for-byte: the
+	// paged postings fault back exactly the bytes that were stored.
+	var again bytes.Buffer
+	if err := cold.SaveBundle(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved, again.Bytes()) {
+		t.Fatalf("re-saved bundle differs: %d vs %d bytes", len(saved), again.Len())
+	}
+
+	// Corrupt bundles are rejected, never panic.
+	for cut := 0; cut < len(saved); cut += len(saved)/40 + 1 {
+		if _, err := document.OpenBundle(bytes.NewReader(saved[:cut]), document.Options{}); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	mut := append([]byte(nil), saved...)
+	mut[3] ^= 0xFF
+	if _, err := document.OpenBundle(bytes.NewReader(mut), document.Options{}); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+}

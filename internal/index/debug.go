@@ -54,9 +54,29 @@ func (ix *NameIndex) CheckSorted() error {
 }
 
 // checkPostingList validates one list's block structure and document order.
+// A paged list is checked without faulting any block bytes — decode-free
+// skip-table structure plus document order over the resident First/Last
+// identifiers — so a cold open stays cold; the fault path revalidates block
+// contents on every read instead.
 func checkPostingList(rn *core.Numbering, name string, pl *PostingList) error {
 	if pl.Len() == 0 {
 		return fmt.Errorf("index: empty posting list stored for %q", name)
+	}
+	if pl.Paged() {
+		if err := validateSkipStructure(pl.skips, pl.DataLen(), pl.n); err != nil {
+			return fmt.Errorf("index: postings for %q: %w", name, err)
+		}
+		var prev core.ID
+		for b, sk := range pl.skips {
+			if b > 0 && rn.CompareOrderID(prev, sk.First) >= 0 {
+				return fmt.Errorf("index: paged postings for %q out of document order at block %d", name, b)
+			}
+			if sk.N > 1 && rn.CompareOrderID(sk.First, sk.Last) >= 0 {
+				return fmt.Errorf("index: paged postings for %q block %d First !< Last", name, b)
+			}
+			prev = sk.Last
+		}
+		return nil
 	}
 	// Re-running the structural validation on our own parts catches a
 	// builder bug (or in-place mutation) the same way it catches a corrupt

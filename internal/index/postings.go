@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"sync"
 	"unsafe"
 
 	"repro/internal/core"
@@ -40,11 +41,41 @@ type Skip struct {
 
 const skipBytes = int(unsafe.Sizeof(Skip{}))
 
+// BlockSource supplies a paged posting list's delta bytes on demand: the
+// out-of-core form, where only the skip table is memory-resident and block
+// bytes live in buffer-pool pages (storage.BlockStore implements it).
+// ReadRange appends bytes [off, end) of the list's data region to dst.
+type BlockSource interface {
+	ReadRange(off, end uint32, dst []byte) ([]byte, error)
+}
+
+// PagedError wraps an I/O or validation failure on the paged posting fault
+// path. The block decode sites shared by all join kernels cannot return
+// errors without threading them through every signature, so a paged fault
+// failure panics with *PagedError; query.Planner recovers it at the query
+// boundary (for serial and parallel plans alike — internal/exec re-raises
+// worker panics) and returns it as an ordinary error.
+type PagedError struct {
+	Block int   // block index whose fault failed
+	Err   error // the underlying I/O or validation error
+}
+
+func (e *PagedError) Error() string {
+	return fmt.Sprintf("index: paged postings block %d: %v", e.Block, e.Err)
+}
+
+func (e *PagedError) Unwrap() error { return e.Err }
+
 // PostingList is one name's block-compressed, document-ordered postings.
+// In the resident form the delta bytes are in data; in the paged form data
+// is nil and the bytes are faulted per block through src, with the skip
+// table (and nothing else) staying memory-resident.
 type PostingList struct {
-	skips []Skip
-	data  []byte
-	n     int
+	skips   []Skip
+	data    []byte
+	n       int
+	src     BlockSource // nil for a resident list
+	dataLen uint32      // total data-region length (paged lists only)
 }
 
 // Len returns the number of postings.
@@ -68,12 +99,42 @@ func (pl *PostingList) Skips() []Skip { return pl.skips }
 
 // Data returns the delta-encoded block bytes, shared with the list:
 // read-only. Together with Skips and Len it is the exact persisted form
-// (internal/storage writes both verbatim).
+// (internal/storage writes both verbatim). A paged list returns nil — its
+// bytes are not resident; use DataBytes to fault them in.
 func (pl *PostingList) Data() []byte { return pl.data }
 
+// Paged reports whether the list's block bytes live behind a BlockSource
+// instead of in memory.
+func (pl *PostingList) Paged() bool { return pl != nil && pl.src != nil }
+
+// DataLen returns the length of the delta byte region, resident or not.
+func (pl *PostingList) DataLen() int {
+	if pl == nil {
+		return 0
+	}
+	if pl.src != nil {
+		return int(pl.dataLen)
+	}
+	return len(pl.data)
+}
+
+// DataBytes returns the full delta byte region, faulting a paged list's
+// bytes through its source (the persistence path uses it; resident lists
+// return the shared slice without copying).
+func (pl *PostingList) DataBytes() ([]byte, error) {
+	if pl == nil {
+		return nil, nil
+	}
+	if pl.src == nil {
+		return pl.data, nil
+	}
+	return pl.src.ReadRange(0, pl.dataLen, make([]byte, 0, pl.dataLen))
+}
+
 // SizeBytes returns the resident size of the compressed representation:
-// delta bytes plus the skip table. This is the numerator of the
-// bytes-per-posting metric ruidbench reports.
+// delta bytes plus the skip table. A paged list's data bytes are not
+// resident, so only its skip table counts — the footprint Lemma 1's
+// in-memory table K argument is about.
 func (pl *PostingList) SizeBytes() int {
 	if pl == nil {
 		return 0
@@ -81,11 +142,20 @@ func (pl *PostingList) SizeBytes() int {
 	return len(pl.data) + len(pl.skips)*skipBytes
 }
 
-// AppendBlock decodes block b onto dst and returns the extended slice. The
-// list is validated at construction (Finish never emits a malformed block,
-// FromParts rejects one), so a decode failure here is memory corruption and
-// panics.
+// AppendBlock decodes block b onto dst and returns the extended slice. A
+// resident list is validated at construction (Finish never emits a
+// malformed block, FromParts rejects one), so a decode failure is memory
+// corruption and panics. A paged list revalidates the block against its
+// skip entry on every fault — torn or corrupted pages surface as a
+// *PagedError panic that query.Planner converts to an error.
 func (pl *PostingList) AppendBlock(b int, dst []core.ID) []core.ID {
+	if pl.src != nil {
+		out, err := pl.appendPagedBlock(b, dst)
+		if err != nil {
+			panic(&PagedError{Block: b, Err: err})
+		}
+		return out
+	}
 	sk := pl.skips[b]
 	dst = append(dst, sk.First)
 	prev := sk.First
@@ -100,6 +170,70 @@ func (pl *PostingList) AppendBlock(b int, dst []core.ID) []core.ID {
 		prev = id
 	}
 	return dst
+}
+
+// TryAppendBlock is AppendBlock with an error return instead of the
+// *PagedError panic, for callers (tests, tools) that probe possibly-corrupt
+// paged blocks directly. On error dst's appended tail is garbage and the
+// original prefix should be re-sliced by the caller.
+func (pl *PostingList) TryAppendBlock(b int, dst []core.ID) ([]core.ID, error) {
+	if pl.src != nil {
+		return pl.appendPagedBlock(b, dst)
+	}
+	return pl.AppendBlock(b, dst), nil
+}
+
+// blockBytesPool recycles the byte scratch paged faults decode from, so a
+// seek over a paged list allocates once per goroutine rather than per
+// block.
+var blockBytesPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func (pl *PostingList) appendPagedBlock(b int, dst []core.ID) ([]core.ID, error) {
+	sk := pl.skips[b]
+	bufp := blockBytesPool.Get().(*[]byte)
+	buf, err := pl.src.ReadRange(sk.Off, sk.End, (*bufp)[:0])
+	if err == nil {
+		dst, err = decodeBlockChecked(sk, b, buf, dst)
+	}
+	if buf != nil {
+		*bufp = buf[:0]
+	}
+	blockBytesPool.Put(bufp)
+	return dst, err
+}
+
+// decodeBlockChecked decodes one block's delta bytes onto dst with full
+// validation against its skip entry: every entry must decode, the bytes
+// must be consumed exactly, and Last/MinGlobal/MaxGlobal must agree with
+// the contents. Shared by load-time validation (PostingListFromParts) and
+// the paged fault path, which re-runs it on every fault — the same
+// LoadPostings-grade revalidation, applied lazily per block.
+func decodeBlockChecked(sk Skip, b int, buf []byte, dst []core.ID) ([]core.ID, error) {
+	dst = append(dst, sk.First)
+	prev := sk.First
+	minG, maxG := sk.First.Global, sk.First.Global
+	for j := 1; j < int(sk.N); j++ {
+		id, m, ok := core.DecodeIDDelta(buf, prev)
+		if !ok {
+			return dst, fmt.Errorf("block %d entry %d does not decode", b, j)
+		}
+		buf = buf[m:]
+		prev = id
+		if id.Global < minG {
+			minG = id.Global
+		}
+		if id.Global > maxG {
+			maxG = id.Global
+		}
+		dst = append(dst, id)
+	}
+	if len(buf) != 0 {
+		return dst, fmt.Errorf("block %d has %d trailing bytes", b, len(buf))
+	}
+	if prev != sk.Last || minG != sk.MinGlobal || maxG != sk.MaxGlobal {
+		return dst, fmt.Errorf("block %d skip entry disagrees with contents", b)
+	}
+	return dst, nil
 }
 
 // AppendAll decodes the whole list onto dst in document order.
@@ -178,50 +312,59 @@ func BuildPostingList(ids []core.ID) *PostingList {
 // storage load path. (Document-order sortedness needs the numbering and is
 // checked by index.FromPostingLists.)
 func PostingListFromParts(data []byte, skips []Skip, n int) (*PostingList, error) {
-	pl := &PostingList{skips: skips, data: data, n: n}
+	if err := validateSkipStructure(skips, len(data), n); err != nil {
+		return nil, err
+	}
+	var scratch []core.ID
+	for i, sk := range skips {
+		var err error
+		scratch, err = decodeBlockChecked(sk, i, data[sk.Off:sk.End], scratch[:0])
+		if err != nil {
+			return nil, fmt.Errorf("index: %w", err)
+		}
+	}
+	return &PostingList{skips: skips, data: data, n: n}, nil
+}
+
+// validateSkipStructure checks the decode-free half of list validation:
+// block byte ranges must tile the data region exactly and the per-block
+// counts must sum to n.
+func validateSkipStructure(skips []Skip, dataLen, n int) error {
 	total, off := 0, uint32(0)
 	for i, sk := range skips {
 		if sk.N == 0 || int(sk.N) > BlockSize {
-			return nil, fmt.Errorf("index: block %d has %d entries (max %d)", i, sk.N, BlockSize)
+			return fmt.Errorf("index: block %d has %d entries (max %d)", i, sk.N, BlockSize)
 		}
-		if sk.Off != off || sk.End < sk.Off || int(sk.End) > len(data) {
-			return nil, fmt.Errorf("index: block %d bytes [%d,%d) break the tiling at %d/%d",
-				i, sk.Off, sk.End, off, len(data))
+		if sk.Off != off || sk.End < sk.Off || int(sk.End) > dataLen {
+			return fmt.Errorf("index: block %d bytes [%d,%d) break the tiling at %d/%d",
+				i, sk.Off, sk.End, off, dataLen)
 		}
 		off = sk.End
 		total += int(sk.N)
-
-		prev := sk.First
-		minG, maxG := sk.First.Global, sk.First.Global
-		buf := data[sk.Off:sk.End]
-		for j := 1; j < int(sk.N); j++ {
-			id, m, ok := core.DecodeIDDelta(buf, prev)
-			if !ok {
-				return nil, fmt.Errorf("index: block %d entry %d does not decode", i, j)
-			}
-			buf = buf[m:]
-			prev = id
-			if id.Global < minG {
-				minG = id.Global
-			}
-			if id.Global > maxG {
-				maxG = id.Global
-			}
-		}
-		if len(buf) != 0 {
-			return nil, fmt.Errorf("index: block %d has %d trailing bytes", i, len(buf))
-		}
-		if prev != sk.Last || minG != sk.MinGlobal || maxG != sk.MaxGlobal {
-			return nil, fmt.Errorf("index: block %d skip entry disagrees with contents", i)
-		}
 	}
-	if off != uint32(len(data)) {
-		return nil, fmt.Errorf("index: %d unclaimed data bytes", uint32(len(data))-off)
+	if off != uint32(dataLen) {
+		return fmt.Errorf("index: %d unclaimed data bytes", uint32(dataLen)-off)
 	}
 	if total != n {
-		return nil, fmt.Errorf("index: blocks hold %d postings, header says %d", total, n)
+		return fmt.Errorf("index: blocks hold %d postings, header says %d", total, n)
 	}
-	return pl, nil
+	return nil
+}
+
+// PagedPostingList assembles the out-of-core form: a resident skip table
+// over a dataLen-byte delta region that lives behind src. Only the
+// decode-free structural validation runs here — faulting every block to
+// verify its contents would defeat a cold open, so content validation is
+// deferred to each fault (decodeBlockChecked in appendPagedBlock), which
+// rejects torn or corrupt pages at read time.
+func PagedPostingList(skips []Skip, n, dataLen int, src BlockSource) (*PostingList, error) {
+	if src == nil {
+		return nil, fmt.Errorf("index: paged posting list needs a block source")
+	}
+	if err := validateSkipStructure(skips, dataLen, n); err != nil {
+		return nil, err
+	}
+	return &PostingList{skips: skips, n: n, src: src, dataLen: uint32(dataLen)}, nil
 }
 
 // Postings is the read view join code consumes: either a block-compressed

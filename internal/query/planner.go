@@ -101,9 +101,42 @@ type Planner struct {
 	engine *xpath.Engine
 	exec   *exec.Executor
 	m      *plannerMetrics
+	io     IOStatsFunc
 
 	nodes     int
 	meanDepth float64
+}
+
+// IOStatsFunc reports the cumulative page I/O of the store backing a paged
+// snapshot: reads (pool misses), writes, hits, and evictions. The document
+// facade wires it to the DocStore pager when PoolPages is set; with it, the
+// per-stage EXPLAIN ANALYZE spans carry io_reads / io_hits / io_evictions
+// deltas, witnessing which stages fault and which run I/O-free.
+type IOStatsFunc func() (reads, writes, hits, evictions int64)
+
+// SetIOStats attaches the paged store's I/O counters (nil detaches).
+func (p *Planner) SetIOStats(f IOStatsFunc) { p.io = f }
+
+// ioMark is a snapshot of the store counters taken before a stage.
+type ioMark struct{ reads, writes, hits, evicts int64 }
+
+func (p *Planner) ioSnap() ioMark {
+	if p.io == nil {
+		return ioMark{}
+	}
+	r, w, h, e := p.io()
+	return ioMark{reads: r, writes: w, hits: h, evicts: e}
+}
+
+// ioRecord writes the I/O consumed since before onto sp.
+func (p *Planner) ioRecord(sp *obs.Span, before ioMark) {
+	if p.io == nil || sp == nil {
+		return
+	}
+	after := p.ioSnap()
+	sp.SetInt("io_reads", after.reads-before.reads)
+	sp.SetInt("io_hits", after.hits-before.hits)
+	sp.SetInt("io_evictions", after.evicts-before.evicts)
 }
 
 // plannerMetrics holds the registry pointers the planner records into,
@@ -387,12 +420,28 @@ func (p *Planner) RunMetered(q string, tr *obs.Trace, m *budget.Meter) ([]*xmltr
 	return p.run(q, tr, m)
 }
 
-func (p *Planner) run(q string, tr *obs.Trace, m *budget.Meter) ([]*xmltree.Node, Plan, error) {
+func (p *Planner) run(q string, tr *obs.Trace, m *budget.Meter) (nodes []*xmltree.Node, plan Plan, err error) {
 	var start time.Time
 	if p.m != nil {
 		start = time.Now()
 	}
-	nodes, plan, err := p.execute(q, tr, m)
+	// Paged postings fault inside join kernels whose decode sites cannot
+	// return errors; a fault failure (I/O error, torn page) panics with
+	// *index.PagedError, re-raised by the executor from parallel workers.
+	// Convert it to an ordinary error at the query boundary; anything else
+	// keeps panicking.
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*index.PagedError)
+			if !ok {
+				panic(r)
+			}
+			tr.Notef("paged I/O failure: %v", pe)
+			tr.Finish()
+			nodes, err = nil, pe
+		}
+	}()
+	nodes, plan, err = p.execute(q, tr, m)
 	if err != nil {
 		tr.Notef("error: %v", err)
 		tr.Finish()
@@ -454,6 +503,7 @@ func (p *Planner) execute(q string, tr *obs.Trace, m *budget.Meter) ([]*xmltree.
 	// the concrete lookup, never boxing a single probe.
 	if rn := p.ix.RUID(); rn != nil {
 		mex := p.exec.WithMeter(m)
+		qio := p.ioSnap()
 		var ids []core.ID
 		if plan.Kind == TwigPlan {
 			var sp *obs.Span
@@ -462,11 +512,17 @@ func (p *Planner) execute(q string, tr *obs.Trace, m *budget.Meter) ([]*xmltree.
 				sp = tr.StartSpan("twig_match " + plan.pattern.String())
 				ex = ex.WithSpan(sp)
 			}
+			before := p.ioSnap()
 			ids, _ = twig.MatchIDsWith(plan.pattern, p.ix, ex)
 			sp.SetInt("out", int64(len(ids)))
+			p.ioRecord(sp, before)
 			sp.End()
 		} else {
 			ids = p.runChainRUID(rn, plan.chain, tr, mex)
+		}
+		if p.io != nil && tr != nil {
+			now := p.ioSnap()
+			tr.Notef("io: reads=%d hits=%d evictions=%d", now.reads-qio.reads, now.hits-qio.hits, now.evicts-qio.evicts)
 		}
 		// A tripped meter means the pipeline stopped mid-kernel and ids is a
 		// partial (possibly empty) set: discard it and surface the sentinel.
@@ -574,6 +630,7 @@ func (p *Planner) runChainRUID(rn *core.Numbering, chain []step, tr *obs.Trace, 
 			sp.SetInt("descs", int64(descs.Len()))
 			ex = ex.WithSpan(sp)
 		}
+		before := p.ioSnap()
 		var next []core.ID
 		if st.descendant {
 			next = ex.UpwardSemiJoin(rn, cur, descs)
@@ -581,6 +638,7 @@ func (p *Planner) runChainRUID(rn *core.Numbering, chain []step, tr *obs.Trace, 
 			next = ex.ParentSemiJoin(rn, cur, descs)
 		}
 		sp.SetInt("out", int64(len(next)))
+		p.ioRecord(sp, before)
 		sp.End()
 		cur = index.SlicePostings(next)
 	}

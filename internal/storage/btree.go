@@ -16,6 +16,7 @@ import (
 // sufficient for the workloads measured here.
 type BTree struct {
 	pager PageStore
+	pin   PinStore // non-nil when pager supports pinning
 	root  int32
 	size  int
 }
@@ -23,6 +24,7 @@ type BTree struct {
 // NewBTree creates an empty tree whose nodes live in pager.
 func NewBTree(pager PageStore) *BTree {
 	t := &BTree{pager: pager}
+	t.pin, _ = pager.(PinStore)
 	t.root = pager.Alloc()
 	t.writeNode(t.root, &bnode{leaf: true, next: -1})
 	return t
@@ -49,41 +51,64 @@ type bnode struct {
 //	leaf:       repeat { klen u16, key, vlen u16, val }
 //	interior:   child0 i32, repeat { klen u16, key, child i32 }
 func (t *BTree) readNode(id int32) (*bnode, error) {
-	buf, err := t.pager.Read(id)
-	if err != nil {
-		return nil, err
+	// Pin the page for the duration of the decode when the store supports
+	// it: with a shared concurrent pool, another goroutine's fault could
+	// otherwise evict this frame mid-decode. Everything is copied out of
+	// the frame before Unpin.
+	var buf []byte
+	if t.pin != nil {
+		pp, err := t.pin.Pin(id)
+		if err != nil {
+			return nil, err
+		}
+		defer pp.Unpin()
+		buf = pp.Data()
+	} else {
+		var err error
+		buf, err = t.pager.Read(id)
+		if err != nil {
+			return nil, err
+		}
 	}
 	n := &bnode{leaf: buf[0] == 1}
 	cnt := int(binary.BigEndian.Uint16(buf[1:3]))
 	n.next = int32(binary.BigEndian.Uint32(buf[3:7]))
-	off := 7
+	// Copy the payload region out of the frame once and hand out
+	// cap-bounded subslices: one arena allocation per node instead of two
+	// tiny copies per entry, which dominated bulk-load profiles. The caps
+	// keep a caller's append from clobbering a neighbouring entry. Under
+	// a plain Read the buffer is already a private copy and is sliced
+	// directly.
+	arena := buf[7:]
+	if t.pin != nil {
+		arena = append(make([]byte, 0, len(arena)), arena...)
+	}
+	off := 0
 	if n.leaf {
+		n.keys = make([][]byte, 0, cnt)
+		n.vals = make([][]byte, 0, cnt)
 		for i := 0; i < cnt; i++ {
-			kl := int(binary.BigEndian.Uint16(buf[off : off+2]))
+			kl := int(binary.BigEndian.Uint16(arena[off : off+2]))
 			off += 2
-			k := make([]byte, kl)
-			copy(k, buf[off:off+kl])
+			n.keys = append(n.keys, arena[off:off+kl:off+kl])
 			off += kl
-			vl := int(binary.BigEndian.Uint16(buf[off : off+2]))
+			vl := int(binary.BigEndian.Uint16(arena[off : off+2]))
 			off += 2
-			v := make([]byte, vl)
-			copy(v, buf[off:off+vl])
+			n.vals = append(n.vals, arena[off:off+vl:off+vl])
 			off += vl
-			n.keys = append(n.keys, k)
-			n.vals = append(n.vals, v)
 		}
 		return n, nil
 	}
-	n.kids = append(n.kids, int32(binary.BigEndian.Uint32(buf[off:off+4])))
+	n.keys = make([][]byte, 0, cnt)
+	n.kids = make([]int32, 0, cnt+1)
+	n.kids = append(n.kids, int32(binary.BigEndian.Uint32(arena[off:off+4])))
 	off += 4
 	for i := 0; i < cnt; i++ {
-		kl := int(binary.BigEndian.Uint16(buf[off : off+2]))
+		kl := int(binary.BigEndian.Uint16(arena[off : off+2]))
 		off += 2
-		k := make([]byte, kl)
-		copy(k, buf[off:off+kl])
+		n.keys = append(n.keys, arena[off:off+kl:off+kl])
 		off += kl
-		n.keys = append(n.keys, k)
-		n.kids = append(n.kids, int32(binary.BigEndian.Uint32(buf[off:off+4])))
+		n.kids = append(n.kids, int32(binary.BigEndian.Uint32(arena[off:off+4])))
 		off += 4
 	}
 	return n, nil

@@ -3,13 +3,18 @@ package storage
 import (
 	"errors"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
 )
 
 // faultStore wraps a Pager and fails reads after a countdown, simulating a
-// bad sector mid-operation.
+// bad sector mid-operation. Both page access paths — Read and Pin — count
+// against and trip the same fault, since the B-tree prefers Pin when the
+// store supports it.
 type faultStore struct {
 	*Pager
-	failAfter int // fail every Read once the counter reaches zero
+	failAfter int // fail every Read/Pin once the counter reaches zero
 	reads     int
 }
 
@@ -21,6 +26,14 @@ func (f *faultStore) Read(id int32) ([]byte, error) {
 		return nil, errInjected
 	}
 	return f.Pager.Read(id)
+}
+
+func (f *faultStore) Pin(id int32) (*PinnedPage, error) {
+	f.reads++
+	if f.failAfter >= 0 && f.reads > f.failAfter {
+		return nil, errInjected
+	}
+	return f.Pager.Pin(id)
 }
 
 // TestBTreeReadFaultPropagation: read faults surface as errors from every
@@ -57,6 +70,153 @@ func TestBTreeReadFaultPropagation(t *testing.T) {
 	fs.failAfter = -1
 	if _, ok, err := tr.Get(key64(5)); err != nil || !ok {
 		t.Fatalf("recovered Get: ok=%v err=%v", ok, err)
+	}
+}
+
+// pagedFixture stores a valid posting list as a blob and returns both the
+// paged view and the resident original, plus the block store for fault
+// injection. The list is large enough to span several pages and many
+// blocks.
+func pagedFixture(t *testing.T) (*BlockStore, *index.PostingList, *index.PostingList) {
+	t.Helper()
+	ids := make([]core.ID, 0, 40000)
+	for i := 0; i < 40000; i++ {
+		ids = append(ids, core.ID{Global: int64(2 + i/500), Local: int64(1 + i%500)})
+	}
+	pl := index.BuildPostingList(ids)
+	if len(pl.Data()) < 3*PageSize {
+		t.Fatalf("fixture too small: %d data bytes", len(pl.Data()))
+	}
+	bs := NewBlockStore(4)
+	if err := bs.PutBlob("px:t", pl.Data()); err != nil {
+		t.Fatal(err)
+	}
+	bs.Pager().Flush()
+	bs.DropCache()
+	ppl, err := index.PagedPostingList(pl.Skips(), pl.Len(), len(pl.Data()), bs.Source("px:t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bs, ppl, pl
+}
+
+// TestPagedBlocksTornPageRejected: a torn page write — half a page of the
+// blob region replaced by other bytes, as a crashed partial sector write
+// would leave it — must surface as a decode error from every affected
+// block on the next fault, never as silently wrong postings. This is the
+// paged analogue of LoadPostings' full revalidation: the same checks run
+// per block at fault time.
+func TestPagedBlocksTornPageRejected(t *testing.T) {
+	bs, ppl, pl := pagedFixture(t)
+
+	// Baseline: the paged list decodes block-for-block identically.
+	for b := 0; b < ppl.NumBlocks(); b++ {
+		got, err := ppl.TryAppendBlock(b, nil)
+		if err != nil {
+			t.Fatalf("pristine block %d: %v", b, err)
+		}
+		want := pl.AppendBlock(b, nil)
+		if len(got) != len(want) {
+			t.Fatalf("pristine block %d: %d ids, want %d", b, len(got), len(want))
+		}
+	}
+
+	// Tear the second data page: its first half becomes garbage directly on
+	// "disk", bypassing the pager API exactly like a torn hardware write.
+	p := bs.Pager()
+	p.mu.Lock()
+	pageID := bs.blobs["px:t"].pages[1]
+	for i := 0; i < PageSize/2; i++ {
+		p.disk[pageID][i] = 0xEE
+	}
+	p.mu.Unlock()
+	bs.DropCache()
+
+	bad, ok := 0, 0
+	for b := 0; b < ppl.NumBlocks(); b++ {
+		if _, err := ppl.TryAppendBlock(b, nil); err != nil {
+			bad++
+		} else {
+			ok++
+		}
+	}
+	if bad == 0 {
+		t.Fatalf("no block rejected a torn page (%d blocks decoded)", ok)
+	}
+	if ok == 0 {
+		t.Fatalf("every block failed; tear was supposed to hit only part of the region")
+	}
+
+	// The panicking fast path wraps the same failure in *index.PagedError so
+	// the query layer can recover it into an error return.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("AppendBlock on a torn block did not panic")
+		}
+		pe, isPE := r.(*index.PagedError)
+		if !isPE {
+			panic(r)
+		}
+		if pe.Err == nil {
+			t.Fatalf("PagedError without cause")
+		}
+	}()
+	for b := 0; b < ppl.NumBlocks(); b++ {
+		ppl.AppendBlock(b, nil)
+	}
+}
+
+// TestPagedBlocksPartialFlushRejected: a crash that loses the dirty tail of
+// the pool ("partial flush") leaves the blob's later pages zeroed on disk.
+// Blocks over the flushed prefix still decode; blocks over the lost suffix
+// are rejected at fault time.
+func TestPagedBlocksPartialFlushRejected(t *testing.T) {
+	ids := make([]core.ID, 0, 40000)
+	for i := 0; i < 40000; i++ {
+		ids = append(ids, core.ID{Global: int64(2 + i/500), Local: int64(1 + i%500)})
+	}
+	pl := index.BuildPostingList(ids)
+	bs := NewBlockStore(4)
+	if err := bs.PutBlob("px:t", pl.Data()); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before Flush: discard the pool without writing dirty frames
+	// back. Earlier pages were already written back by eviction pressure
+	// during PutBlob (the pool holds only 4 frames); the tail is lost.
+	p := bs.Pager()
+	p.mu.Lock()
+	lost := 0
+	for _, f := range p.frames {
+		if f.dirty {
+			lost++
+		}
+	}
+	p.frames = map[int32]*frame{}
+	p.clock = nil
+	p.hand = 0
+	p.mu.Unlock()
+	if lost == 0 {
+		t.Fatalf("no dirty frames to lose; fixture does not model a partial flush")
+	}
+
+	ppl, err := index.PagedPostingList(pl.Skips(), pl.Len(), len(pl.Data()), bs.Source("px:t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, ok := 0, 0
+	for b := 0; b < ppl.NumBlocks(); b++ {
+		if _, err := ppl.TryAppendBlock(b, nil); err != nil {
+			bad++
+		} else {
+			ok++
+		}
+	}
+	if bad == 0 {
+		t.Fatalf("zeroed tail pages decoded cleanly (%d blocks)", ok)
+	}
+	if ok == 0 {
+		t.Fatalf("flushed prefix should still decode")
 	}
 }
 

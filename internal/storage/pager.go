@@ -7,11 +7,15 @@
 // store:
 //
 //   - Pager: fixed-size pages behind a bounded buffer pool with full read /
-//     write / hit accounting;
+//     write / hit / eviction accounting and pinned frames;
 //   - BTree: a B+tree over byte-string keys whose nodes live in pages, used
 //     as the clustered (global, local) identifier index;
 //   - NodeStore: the node table — one record per numbered node, keyed by
 //     the identifier's byte key;
+//   - BlockStore: named byte blobs (postings block regions) spread over
+//     pages, read back through pinned frames;
+//   - DocStore: one pager shared by a document's postings blobs and its
+//     node-payload table, so a single pool bound governs all paged state;
 //   - PartitionedStore: the §4 "database file/table selection" layout, one
 //     table per ruid global index.
 package storage
@@ -19,6 +23,10 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -26,11 +34,32 @@ import (
 // PageSize is the size of one simulated disk page in bytes.
 const PageSize = 4096
 
+// debugChecks gates the use-after-evict hardening: poisoning evicted frame
+// bytes and checksumming pinned frames. Seeded from RUID_DEBUG like the
+// index-side invariant checks.
+var debugChecks atomic.Bool
+
+func init() {
+	if os.Getenv("RUID_DEBUG") != "" {
+		debugChecks.Store(true)
+	}
+}
+
+// SetDebugChecks toggles the eviction-poisoning / pin-checksum hardening and
+// returns the previous setting. Tests use it to exercise the debug paths
+// without the environment variable.
+func SetDebugChecks(on bool) bool { return debugChecks.Swap(on) }
+
+// poisonByte fills evicted frames under debug mode so stale holds read
+// garbage deterministically instead of whatever page was faulted next.
+const poisonByte = 0xDB
+
 // IOStats counts simulated disk traffic.
 type IOStats struct {
 	Reads     int64 // pages fetched from "disk" (buffer-pool misses)
 	Writes    int64 // pages written back to "disk"
 	CacheHits int64 // page requests served from the buffer pool
+	Evictions int64 // frames pushed out of the pool to make room
 }
 
 // Sub returns the difference s − prev, for measuring one operation.
@@ -39,12 +68,14 @@ func (s IOStats) Sub(prev IOStats) IOStats {
 		Reads:     s.Reads - prev.Reads,
 		Writes:    s.Writes - prev.Writes,
 		CacheHits: s.CacheHits - prev.CacheHits,
+		Evictions: s.Evictions - prev.Evictions,
 	}
 }
 
 // String renders the counters compactly.
 func (s IOStats) String() string {
-	return fmt.Sprintf("reads=%d writes=%d hits=%d", s.Reads, s.Writes, s.CacheHits)
+	return fmt.Sprintf("reads=%d writes=%d hits=%d evictions=%d",
+		s.Reads, s.Writes, s.CacheHits, s.Evictions)
 }
 
 // ErrPageBounds reports an out-of-range page access.
@@ -52,7 +83,11 @@ var ErrPageBounds = errors.New("storage: page id out of range")
 
 // Pager provides fixed-size pages on a simulated disk behind a bounded
 // buffer pool with second-chance (clock) eviction. All I/O is counted.
+// All methods are safe for concurrent use; the contents of slices handed
+// out by Read and PinnedPage.Data are governed by the rules documented on
+// those methods.
 type Pager struct {
+	mu    sync.Mutex
 	disk  [][]byte // the "disk": page id -> page image
 	stats IOStats
 
@@ -63,6 +98,7 @@ type Pager struct {
 	obsReads  *obs.Counter
 	obsWrites *obs.Counter
 	obsHits   *obs.Counter
+	obsEvicts *obs.Counter
 
 	capacity int
 	frames   map[int32]*frame
@@ -71,16 +107,19 @@ type Pager struct {
 }
 
 // SetObserver mirrors the pager's I/O accounting into r as the counters
-// storage.page_reads, storage.page_writes and storage.cache_hits. A nil
-// registry detaches.
+// storage.page_reads, storage.page_writes, storage.cache_hits and
+// storage.evictions. A nil registry detaches.
 func (p *Pager) SetObserver(r *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if r == nil {
-		p.obsReads, p.obsWrites, p.obsHits = nil, nil, nil
+		p.obsReads, p.obsWrites, p.obsHits, p.obsEvicts = nil, nil, nil, nil
 		return
 	}
 	p.obsReads = r.Counter("storage.page_reads")
 	p.obsWrites = r.Counter("storage.page_writes")
 	p.obsHits = r.Counter("storage.cache_hits")
+	p.obsEvicts = r.Counter("storage.evictions")
 }
 
 type frame struct {
@@ -88,6 +127,12 @@ type frame struct {
 	data   []byte
 	dirty  bool
 	refbit bool
+	pins   int
+	// Debug-mode fields: gen counts writes to the frame (a pin checksum is
+	// only comparable while the generation is unchanged), poisoned marks a
+	// frame whose bytes were overwritten at eviction.
+	gen      uint64
+	poisoned bool
 }
 
 // NewPager returns a pager whose buffer pool holds poolPages pages
@@ -102,17 +147,45 @@ func NewPager(poolPages int) *Pager {
 	}
 }
 
+// Capacity returns the buffer-pool bound in pages.
+func (p *Pager) Capacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity
+}
+
+// SetCapacity resizes the buffer pool (minimum 4 pages), evicting frames
+// down to the new bound. Pinned frames are never evicted, so the pool may
+// transiently stay above the bound until they are unpinned.
+func (p *Pager) SetCapacity(poolPages int) {
+	if poolPages < 4 {
+		poolPages = 4
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.capacity = poolPages
+	for len(p.frames) > p.capacity && p.evict() {
+	}
+}
+
 // Alloc creates a new zeroed page on disk and returns its id. The page is
 // not faulted into the pool until first use.
 func (p *Pager) Alloc() int32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.disk = append(p.disk, make([]byte, PageSize))
 	return int32(len(p.disk) - 1)
 }
 
 // Read returns the current contents of a page, counting a buffer-pool hit
-// or a disk read. The returned slice is the pooled frame: callers must copy
-// if they hold it across other pager calls.
+// or a disk read. The returned slice is the pooled frame: it is only valid
+// until the next pager call, because eviction may recycle the frame. Callers
+// that must hold page bytes across pager calls use Pin instead. Under
+// RUID_DEBUG, evicted frames are poisoned with 0xDB so a stale hold reads
+// garbage deterministically (see TestReadUseAfterEvictPoison).
 func (p *Pager) Read(id int32) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f, err := p.fetch(id)
 	if err != nil {
 		return nil, err
@@ -126,6 +199,8 @@ func (p *Pager) Write(id int32, data []byte) error {
 	if len(data) > PageSize {
 		return fmt.Errorf("storage: page %d write of %d bytes exceeds page size", id, len(data))
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f, err := p.fetch(id)
 	if err != nil {
 		return err
@@ -135,10 +210,89 @@ func (p *Pager) Write(id int32, data []byte) error {
 		f.data[i] = 0
 	}
 	f.dirty = true
+	f.gen++
 	return nil
 }
 
-// fetch returns the frame for a page, faulting it in if needed.
+// PinnedPage is a page held in the buffer pool on the caller's behalf: the
+// frame cannot be evicted (and therefore its bytes cannot be recycled or
+// poisoned) until Unpin. This is the discipline that lets the paged query
+// path decode postings blocks and B-tree nodes safely while other
+// goroutines fault pages through the same pool.
+type PinnedPage struct {
+	p        *Pager
+	f        *frame
+	unpinned bool
+
+	// Debug-mode checksum of the frame at Pin time; Unpin re-verifies it
+	// when the frame's write generation is unchanged, catching anything that
+	// scribbled on a read-pinned frame.
+	sum      uint32
+	gen      uint64
+	sumValid bool
+}
+
+// Pin faults a page into the pool (counting a read or a hit exactly like
+// Read) and pins its frame against eviction until Unpin. Pins nest: a frame
+// stays resident until every pin is released.
+func (p *Pager) Pin(id int32) (*PinnedPage, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	f.pins++
+	pp := &PinnedPage{p: p, f: f}
+	if debugChecks.Load() {
+		pp.sum = crc32.ChecksumIEEE(f.data)
+		pp.gen = f.gen
+		pp.sumValid = true
+	}
+	return pp, nil
+}
+
+// Data returns the pinned frame's bytes. The slice is valid until Unpin;
+// callers must not write through it. Reading while another goroutine writes
+// the same page is a caller bug (the debug checksum catches it at Unpin).
+// It panics on use after Unpin, and under RUID_DEBUG also if the frame was
+// somehow evicted while pinned (which would indicate a pager bug).
+func (pp *PinnedPage) Data() []byte {
+	pp.p.mu.Lock()
+	defer pp.p.mu.Unlock()
+	if pp.unpinned || pp.f.pins <= 0 {
+		panic("storage: PinnedPage.Data after Unpin")
+	}
+	if pp.f.poisoned {
+		panic(fmt.Sprintf("storage: pinned page %d was evicted and poisoned", pp.f.id))
+	}
+	return pp.f.data
+}
+
+// Unpin releases the pin. Under RUID_DEBUG it re-checksums the frame and
+// panics if the bytes changed without a Write (a torn concurrent access).
+// Unpin panics if called twice.
+func (pp *PinnedPage) Unpin() {
+	pp.p.mu.Lock()
+	defer pp.p.mu.Unlock()
+	if pp.unpinned {
+		panic("storage: PinnedPage.Unpin called twice")
+	}
+	pp.unpinned = true
+	f := pp.f
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of page %d with no pins", f.id))
+	}
+	f.pins--
+	if pp.sumValid && f.gen == pp.gen && !f.poisoned {
+		if crc32.ChecksumIEEE(f.data) != pp.sum {
+			panic(fmt.Sprintf("storage: page %d mutated while read-pinned", f.id))
+		}
+	}
+}
+
+// fetch returns the frame for a page, faulting it in if needed. Caller
+// holds p.mu.
 func (p *Pager) fetch(id int32) (*frame, error) {
 	if int(id) < 0 || int(id) >= len(p.disk) {
 		return nil, fmt.Errorf("%w: %d", ErrPageBounds, id)
@@ -154,6 +308,8 @@ func (p *Pager) fetch(id int32) (*frame, error) {
 	f := &frame{id: id, data: make([]byte, PageSize), refbit: true}
 	copy(f.data, p.disk[id])
 	if len(p.frames) >= p.capacity {
+		// Best-effort: if every frame is pinned the pool transiently
+		// exceeds capacity rather than deadlocking or stealing a pin.
 		p.evict()
 	}
 	p.frames[id] = f
@@ -161,14 +317,24 @@ func (p *Pager) fetch(id int32) (*frame, error) {
 	return f, nil
 }
 
-// evict removes one frame using the clock algorithm, writing it back if
-// dirty.
-func (p *Pager) evict() {
-	for {
+// evict removes one unpinned frame using the clock algorithm, writing it
+// back if dirty. It reports whether a victim was found; pinned frames are
+// skipped, so a fully pinned pool evicts nothing. Caller holds p.mu.
+func (p *Pager) evict() bool {
+	// One pass may only clear refbits; a second then finds the victim. The
+	// bound caps the scan when pinned frames make a full sweep fruitless.
+	for scanned := 0; scanned <= 2*len(p.clock); scanned++ {
+		if len(p.clock) == 0 {
+			return false
+		}
 		if p.hand >= len(p.clock) {
 			p.hand = 0
 		}
 		f := p.clock[p.hand]
+		if f.pins > 0 {
+			p.hand++
+			continue
+		}
 		if f.refbit {
 			f.refbit = false
 			p.hand++
@@ -179,14 +345,28 @@ func (p *Pager) evict() {
 			p.stats.Writes++
 			p.obsWrites.Inc()
 		}
+		if debugChecks.Load() {
+			// Poison the recycled frame so any caller still holding the
+			// Read slice observes garbage instead of silently reading a
+			// stale (or re-faulted different) page.
+			for i := range f.data {
+				f.data[i] = poisonByte
+			}
+			f.poisoned = true
+		}
+		p.stats.Evictions++
+		p.obsEvicts.Inc()
 		delete(p.frames, f.id)
 		p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
-		return
+		return true
 	}
+	return false
 }
 
 // Flush writes every dirty frame back to disk.
 func (p *Pager) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, f := range p.frames {
 		if f.dirty {
 			copy(p.disk[f.id], f.data)
@@ -198,22 +378,70 @@ func (p *Pager) Flush() {
 }
 
 // Stats returns the accumulated I/O counters.
-func (p *Pager) Stats() IOStats { return p.stats }
+func (p *Pager) Stats() IOStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
 
 // ResetStats zeroes the I/O counters (the pool content is unchanged).
-func (p *Pager) ResetStats() { p.stats = IOStats{} }
+func (p *Pager) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = IOStats{}
+}
 
 // DropCache empties the buffer pool (writing dirty pages back), so that
-// subsequent reads are cold. Useful for measuring worst-case I/O.
+// subsequent reads are cold. Pinned frames survive the drop. Useful for
+// measuring worst-case I/O.
 func (p *Pager) DropCache() {
-	p.Flush()
-	p.frames = make(map[int32]*frame, p.capacity)
-	p.clock = nil
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := make(map[int32]*frame, p.capacity)
+	var clock []*frame
+	for _, f := range p.clock {
+		if f.pins > 0 {
+			kept[f.id] = f
+			clock = append(clock, f)
+			continue
+		}
+		if f.dirty {
+			copy(p.disk[f.id], f.data)
+			p.stats.Writes++
+			p.obsWrites.Inc()
+		}
+		if debugChecks.Load() {
+			for i := range f.data {
+				f.data[i] = poisonByte
+			}
+			f.poisoned = true
+		}
+	}
+	p.frames = kept
+	p.clock = clock
 	p.hand = 0
 }
 
 // Pages returns the number of allocated pages.
-func (p *Pager) Pages() int { return len(p.disk) }
+func (p *Pager) Pages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.disk)
+}
+
+// PinnedFrames returns the number of frames currently held by at least one
+// pin — zero between queries if every Pin was matched by an Unpin.
+func (p *Pager) PinnedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // PageStore is the page-level interface the B+tree is built on. *Pager is
 // the production implementation; tests substitute fault-injecting stores to
@@ -228,3 +456,13 @@ type PageStore interface {
 }
 
 var _ PageStore = (*Pager)(nil)
+
+// PinStore is implemented by page stores that additionally support pinning
+// frames against eviction. The B-tree pins pages while decoding when its
+// store supports it, which is what makes a shared concurrent pool safe.
+type PinStore interface {
+	PageStore
+	Pin(id int32) (*PinnedPage, error)
+}
+
+var _ PinStore = (*Pager)(nil)

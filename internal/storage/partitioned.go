@@ -142,6 +142,7 @@ func (ps *PartitionedStore) TotalStats() IOStats {
 		s.Reads += st.Reads
 		s.Writes += st.Writes
 		s.CacheHits += st.CacheHits
+		s.Evictions += st.Evictions
 	}
 	return s
 }

@@ -64,21 +64,49 @@ func EncodePostings(ix *index.NameIndex) ([]byte, error) {
 			out = binary.AppendUvarint(out, uint64(sk.End-sk.Off))
 			out = binary.AppendUvarint(out, uint64(sk.N))
 		}
-		data := pl.Data()
+		// DataBytes faults a paged list's delta region back in, so a
+		// paged-open document saves byte-identically to a resident one.
+		data, err := pl.DataBytes()
+		if err != nil {
+			return nil, fmt.Errorf("storage: postings for %q: %w", name, err)
+		}
 		out = binary.AppendUvarint(out, uint64(len(data)))
 		out = append(out, data...)
 	}
 	return out, nil
 }
 
-// DecodePostings parses an EncodePostings snapshot back into posting lists.
-// Every list is structurally revalidated (index.PostingListFromParts): the
-// skip table must tile the data, every block must decode, and the skip
-// entries must agree with the decoded contents. Corrupt or truncated input
-// returns an error, never a panic.
+// DecodePostings parses an EncodePostings snapshot back into resident
+// posting lists. Every list is structurally revalidated
+// (index.PostingListFromParts): the skip table must tile the data, every
+// block must decode, and the skip entries must agree with the decoded
+// contents. Corrupt or truncated input returns an error, never a panic.
 func DecodePostings(b []byte) (map[string]*index.PostingList, error) {
+	lists := make(map[string]*index.PostingList)
+	err := walkPostings(b, func(name string, count int, skips []index.Skip, data []byte) error {
+		dcopy := make([]byte, len(data))
+		copy(dcopy, data)
+		pl, err := index.PostingListFromParts(dcopy, skips, count)
+		if err != nil {
+			return fmt.Errorf("storage: %q: %w", name, err)
+		}
+		lists[name] = pl
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lists, nil
+}
+
+// walkPostings parses an EncodePostings snapshot section by section,
+// invoking fn once per name with the parsed skip table and the section's
+// delta data bytes (aliasing b; fn copies what it retains). The resident
+// and paged load paths share it, so both apply identical header
+// validation.
+func walkPostings(b []byte, fn func(name string, count int, skips []index.Skip, data []byte) error) error {
 	if len(b) < len(postingsMagic) || string(b[:len(postingsMagic)]) != postingsMagic {
-		return nil, fmt.Errorf("storage: bad postings magic")
+		return fmt.Errorf("storage: bad postings magic")
 	}
 	b = b[len(postingsMagic):]
 	uvarint := func(what string) (uint64, error) {
@@ -102,61 +130,62 @@ func DecodePostings(b []byte) (map[string]*index.PostingList, error) {
 	}
 	nNames, err := uvarint("name count")
 	if err != nil {
-		return nil, err
+		return err
 	}
-	lists := make(map[string]*index.PostingList, nNames)
+	seen := make(map[string]bool, nNames)
 	for i := uint64(0); i < nNames; i++ {
 		nameLen, err := uvarint("name length")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if uint64(len(b)) < nameLen {
-			return nil, fmt.Errorf("storage: truncated postings snapshot at name")
+			return fmt.Errorf("storage: truncated postings snapshot at name")
 		}
 		name := string(b[:nameLen])
 		b = b[nameLen:]
-		if _, dup := lists[name]; dup {
-			return nil, fmt.Errorf("storage: duplicate postings for %q", name)
+		if seen[name] {
+			return fmt.Errorf("storage: duplicate postings for %q", name)
 		}
+		seen[name] = true
 		count, err := uvarint("posting count")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nBlocks, err := uvarint("block count")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if nBlocks > count {
-			return nil, fmt.Errorf("storage: %q: %d blocks for %d postings", name, nBlocks, count)
+			return fmt.Errorf("storage: %q: %d blocks for %d postings", name, nBlocks, count)
 		}
 		skips := make([]index.Skip, nBlocks)
 		off := uint32(0)
 		for j := range skips {
 			sk := &skips[j]
 			if sk.First, err = key("block first"); err != nil {
-				return nil, err
+				return err
 			}
 			if sk.Last, err = key("block last"); err != nil {
-				return nil, err
+				return err
 			}
 			minG, err := uvarint("min global")
 			if err != nil {
-				return nil, err
+				return err
 			}
 			maxG, err := uvarint("max global")
 			if err != nil {
-				return nil, err
+				return err
 			}
 			runLen, err := uvarint("block byte length")
 			if err != nil {
-				return nil, err
+				return err
 			}
 			n, err := uvarint("block entry count")
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if minG > uint64(1)<<62 || maxG > uint64(1)<<62 || runLen > uint64(1)<<31 || n > index.BlockSize {
-				return nil, fmt.Errorf("storage: %q block %d header out of range", name, j)
+				return fmt.Errorf("storage: %q block %d header out of range", name, j)
 			}
 			sk.MinGlobal, sk.MaxGlobal = int64(minG), int64(maxG)
 			sk.Off, sk.End = off, off+uint32(runLen)
@@ -165,24 +194,21 @@ func DecodePostings(b []byte) (map[string]*index.PostingList, error) {
 		}
 		dataLen, err := uvarint("data length")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if uint64(len(b)) < dataLen {
-			return nil, fmt.Errorf("storage: truncated postings data for %q", name)
+			return fmt.Errorf("storage: truncated postings data for %q", name)
 		}
-		data := make([]byte, dataLen)
-		copy(data, b[:dataLen])
+		data := b[:dataLen]
 		b = b[dataLen:]
-		pl, err := index.PostingListFromParts(data, skips, int(count))
-		if err != nil {
-			return nil, fmt.Errorf("storage: %q: %w", name, err)
+		if err := fn(name, int(count), skips, data); err != nil {
+			return err
 		}
-		lists[name] = pl
 	}
 	if len(b) != 0 {
-		return nil, fmt.Errorf("storage: %d trailing bytes after postings snapshot", len(b))
+		return fmt.Errorf("storage: %d trailing bytes after postings snapshot", len(b))
 	}
-	return lists, nil
+	return nil
 }
 
 // SavePostings writes the index's postings snapshot to w.
@@ -206,6 +232,43 @@ func LoadPostings(r io.Reader, rn *core.Numbering) (*index.NameIndex, error) {
 		return nil, err
 	}
 	lists, err := DecodePostings(b)
+	if err != nil {
+		return nil, err
+	}
+	return index.FromPostingLists(rn, lists)
+}
+
+// PostingsBlobPrefix namespaces posting-list blobs inside a BlockStore, so
+// they coexist with any other blobs on the same pager.
+const PostingsBlobPrefix = "px:"
+
+// LoadPostingsPaged reads a postings snapshot from r and assembles a
+// ruid-backed index whose block bytes live in bs pages instead of memory:
+// each name's delta region is stored as one blob and its posting list is
+// the paged form (index.PagedPostingList), so only the skip tables stay
+// resident and queries fault in exactly the blocks their skip tables admit.
+// Header and skip-table structure are validated here; block contents are
+// revalidated on every fault (the lazy equivalent of LoadPostings' full
+// pass), so a torn page surfaces as an error at read time, not as wrong
+// results.
+func LoadPostingsPaged(r io.Reader, rn *core.Numbering, bs *BlockStore) (*index.NameIndex, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lists := make(map[string]*index.PostingList)
+	err = walkPostings(b, func(name string, count int, skips []index.Skip, data []byte) error {
+		blob := PostingsBlobPrefix + name
+		if err := bs.PutBlob(blob, data); err != nil {
+			return err
+		}
+		pl, err := index.PagedPostingList(skips, count, len(data), bs.Source(blob))
+		if err != nil {
+			return fmt.Errorf("storage: %q: %w", name, err)
+		}
+		lists[name] = pl
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/scheme"
 	"repro/internal/xmltree"
@@ -66,8 +67,11 @@ func recordOf(n *xmltree.Node) Record {
 // NodeStore is the node table of one document: records keyed by the
 // numbering scheme's identifier keys, clustered in a B+tree. With a ruid
 // numbering, key order is (global index, local index) — exactly the sort
-// order the paper prescribes for RDBMS storage.
+// order the paper prescribes for RDBMS storage. Reads may run concurrently
+// (the paged query path fetches payloads from parallel workers); writes
+// take the table lock exclusively.
 type NodeStore struct {
+	mu    sync.RWMutex
 	pager *Pager
 	tree  *BTree
 }
@@ -75,12 +79,20 @@ type NodeStore struct {
 // NewNodeStore creates an empty node table with the given buffer-pool size
 // (pages).
 func NewNodeStore(poolPages int) *NodeStore {
-	p := NewPager(poolPages)
+	return NewNodeStoreOn(NewPager(poolPages))
+}
+
+// NewNodeStoreOn creates an empty node table whose B+tree pages live in an
+// existing pager — the DocStore layout, where postings blobs and the node
+// table share one buffer pool.
+func NewNodeStoreOn(p *Pager) *NodeStore {
 	return &NodeStore{pager: p, tree: NewBTree(p)}
 }
 
 // Load bulk-inserts every numbered node of s (document order).
 func (st *NodeStore) Load(root *xmltree.Node, s scheme.Scheme, withAttrs bool) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	var err error
 	root.WalkFull(func(n *xmltree.Node) bool {
 		if n.Kind == xmltree.Attribute && !withAttrs {
@@ -101,11 +113,15 @@ func (st *NodeStore) Load(root *xmltree.Node, s scheme.Scheme, withAttrs bool) e
 
 // Put inserts or replaces one row.
 func (st *NodeStore) Put(id scheme.ID, n *xmltree.Node) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.tree.Put(id.Key(), encodeRecord(recordOf(n)))
 }
 
 // Get fetches the row stored under id.
 func (st *NodeStore) Get(id scheme.ID) (Record, bool, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	v, ok, err := st.tree.Get(id.Key())
 	if err != nil || !ok {
 		return Record{}, false, err
@@ -119,11 +135,15 @@ func (st *NodeStore) Get(id scheme.ID) (Record, bool, error) {
 
 // Delete removes the row stored under id.
 func (st *NodeStore) Delete(id scheme.ID) (bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.tree.Delete(id.Key())
 }
 
 // ScanRange visits the rows whose keys fall in [lo, hi] in key order.
 func (st *NodeStore) ScanRange(lo, hi []byte, fn func(key []byte, r Record) bool) error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	var derr error
 	err := st.tree.Scan(lo, hi, func(k, v []byte) bool {
 		r, e := decodeRecord(v)
@@ -140,7 +160,11 @@ func (st *NodeStore) ScanRange(lo, hi []byte, fn func(key []byte, r Record) bool
 }
 
 // Len returns the number of stored rows.
-func (st *NodeStore) Len() int { return st.tree.Len() }
+func (st *NodeStore) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.tree.Len()
+}
 
 // Stats returns the accumulated I/O counters.
 func (st *NodeStore) Stats() IOStats { return st.pager.Stats() }
@@ -152,7 +176,14 @@ func (st *NodeStore) ResetStats() { st.pager.ResetStats() }
 func (st *NodeStore) DropCache() { st.pager.DropCache() }
 
 // Height returns the clustered index height.
-func (st *NodeStore) Height() (int, error) { return st.tree.Height() }
+func (st *NodeStore) Height() (int, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.tree.Height()
+}
 
 // Pages returns the number of allocated pages.
 func (st *NodeStore) Pages() int { return st.pager.Pages() }
+
+// Pager exposes the underlying pager (shared in the DocStore layout).
+func (st *NodeStore) Pager() *Pager { return st.pager }

@@ -164,28 +164,46 @@ func E10TableSelection() *Table {
 	return t
 }
 
-// All returns every experiment table in order, for cmd/ruidbench.
-func All() []*Table {
-	e2a, e2b, e2c := E2PaperExample()
-	return []*Table{
-		E1Figure1(),
-		e2a, e2b, e2c,
-		E3IdentifierGrowth(),
-		E3VirtualWaste(),
-		E4ParentComputation(),
-		E5QueryEvaluation(),
-		E6UpdateScope(),
-		E6Deletion(),
-		E6WorstCase(),
-		E6Churn(),
-		E7FrameAdjust(),
-		E8Multilevel(),
-		E9Axes(),
-		E10TableSelection(),
-		E11StructuralJoins(),
-		E11PathPipeline(),
-		E12StorageAxes(),
-		E13BudgetAblation(),
-		E14TwigMatching(),
+// Experiment names one runnable table: ID and Title serve listing and
+// subset selection, Build computes the table on demand.
+type Experiment struct {
+	ID    string
+	Title string
+	Build func() *Table
+}
+
+// Experiments returns every experiment in order, construction deferred —
+// `ruidbench -list` and subset runs must not pay for the tables they do
+// not render (E17 alone builds and pages a ~1M-element corpus).
+func Experiments() []Experiment {
+	e2 := func(pick int) func() *Table {
+		return func() *Table {
+			a, b, c := E2PaperExample()
+			return [...]*Table{a, b, c}[pick]
+		}
+	}
+	return []Experiment{
+		{"E1", "Original UID before/after node insertion", E1Figure1},
+		{"E2a", "2-level ruid of the example tree", e2(0)},
+		{"E2b", "Global parameter table K", e2(1)},
+		{"E2c", "rparent() walkthroughs", e2(2)},
+		{"E3", "Identifier magnitude: original UID vs 2-level ruid", E3IdentifierGrowth},
+		{"E3b", "Virtual-node waste of the original UID", E3VirtualWaste},
+		{"E4", "parent() / rparent() latency (main memory, no I/O)", E4ParentComputation},
+		{"E5", "XPath location-path evaluation latency per navigator", E5QueryEvaluation},
+		{"E6", "Relabeled identifiers per insertion, by insertion depth", E6UpdateScope},
+		{"E6b", "Relabeled identifiers per cascading deletion, by depth", E6Deletion},
+		{"E6c", "Fan-out overflow: whole-document vs one-area renumbering", E6WorstCase},
+		{"E6d", "Cumulative relabels over 50 insertions at one hot spot", E6Churn},
+		{"E7", "Frame fan-out κ: naive partition vs §2.3 supplementation", E7FrameAdjust},
+		{"E8", "Multilevel ruid: levels vs document size", E8Multilevel},
+		{"E9", "Axis generation latency per scheme", E9Axes},
+		{"E10", "Cold page reads per name lookup: partitioned vs monolithic", E10TableSelection},
+		{"E11", "Structural join latency by strategy and scheme", E11StructuralJoins},
+		{"E11b", "//a//b//c evaluation: join pipeline vs axis navigation", E11PathPipeline},
+		{"E12", "Cold page reads per stored-axis operation", E12StorageAxes},
+		{"E13", "Area budget ablation (document: xmark-4)", E13BudgetAblation},
+		{"E14", "Branching twig patterns: join matcher vs navigation", E14TwigMatching},
+		{"E17", "Out-of-core navigation and paged queries (Lemma 1 at scale)", E17OutOfCore},
 	}
 }
