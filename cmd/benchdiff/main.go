@@ -56,7 +56,12 @@ func load(path string) (map[string]result, error) {
 // requiredBenches must exist in every current run: the publication benches
 // are the point of the gate; refuse to pass a run in which they went
 // missing (renamed, dropped from the harness).
-var requiredBenches = []string{"epoch_publish/nodes=5000", "epoch_publish/nodes=50000"}
+var requiredBenches = []string{
+	"epoch_publish/nodes=5000",
+	"epoch_publish/nodes=50000",
+	"write/mutation_ns/batch=1",
+	"write/mutation_ns/batch=64",
+}
 
 // Row statuses.
 const (

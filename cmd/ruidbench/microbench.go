@@ -1,11 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/document"
@@ -13,6 +18,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/scheme"
+	"repro/internal/storage"
 	"repro/internal/twig"
 	"repro/internal/workload"
 	"repro/internal/xmltree"
@@ -462,6 +468,178 @@ func bytesPerPostingRows() []microResult {
 	}}
 }
 
+// writeFixture builds the write-throughput bench document: cells distinct
+// "c<i>" elements under one root, each padded with pad children. Distinct
+// cell names make every cell addressable by a unique simple path, so a
+// mutation stream can spread across the whole document instead of
+// hammering one parent (which would overflow its UID-local area and force
+// full republications — a different experiment).
+func writeFixture(cells, pad int) *xmltree.Node {
+	doc := xmltree.NewDocument()
+	root := xmltree.NewElement("doc")
+	doc.AppendChild(root)
+	for i := 0; i < cells; i++ {
+		cell := xmltree.NewElement(fmt.Sprintf("c%d", i))
+		for j := 0; j < pad; j++ {
+			cell.AppendChild(xmltree.NewElement("pad"))
+		}
+		root.AppendChild(cell)
+	}
+	return doc
+}
+
+// Write-throughput protocol (experiment E18): a fixed stream of
+// insert+delete pairs — each pair lands a fresh element at position 0 of a
+// round-robin cell and immediately removes it, so the document runs at
+// steady state and no area ever grows past its build-time bound. The pairs
+// measure the mutation path itself: per-op delta application plus epoch
+// publication, with publication amortized across the batch on the
+// group-commit rows. Throughput is reported as ns per mutation (an insert
+// and a delete each count as one), publish amortization as epochs per
+// thousand mutations.
+const (
+	writeCells     = 256
+	writePad       = 12
+	writeMutations = 4096 // 2048 insert+delete pairs
+	writeBatch     = 64
+)
+
+// writeRows measures single-writer mutation throughput at batch 1 (the
+// per-mutation publish path) against group commit at batch 64, plus a
+// durable row where eight concurrent writers share a group-fsync WAL. The
+// batch=1 / batch=64 ratio is the headline amortization claim (≥5x); both
+// rows sit in the committed baseline, so the benchdiff gate catches either
+// side drifting.
+func writeRows() []microResult {
+	build := func() *document.Document {
+		d, err := document.FromTree(writeFixture(writeCells, writePad), document.Options{})
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	rate := func(name string, ops int, el time.Duration) microResult {
+		return microResult{Name: name, Iterations: ops, NsPerOp: float64(el.Nanoseconds()) / float64(ops)}
+	}
+	pseudo := func(name string, v float64) microResult {
+		return microResult{Name: name, Iterations: 1, NsPerOp: v}
+	}
+	cellPath := func(i int) string { return fmt.Sprintf("/doc/c%d", i%writeCells) }
+	var rows []microResult
+
+	// batch=1: every mutation assembles and publishes its own epoch.
+	{
+		d := build()
+		e0 := d.Stats().Epoch
+		start := time.Now()
+		for i := 0; i < writeMutations/2; i++ {
+			if _, err := d.Insert(cellPath(i), 0, xmltree.NewElement("w")); err != nil {
+				panic(err)
+			}
+			if _, err := d.Delete(cellPath(i), 0); err != nil {
+				panic(err)
+			}
+		}
+		el := time.Since(start)
+		rows = append(rows,
+			rate("write/mutation_ns/batch=1", writeMutations, el),
+			pseudo("write/publishes_per_kmutation/batch=1", 1000*float64(d.Stats().Epoch-e0)/writeMutations))
+	}
+
+	// batch=64: the group committer coalesces the stream into merged-delta
+	// epochs; the writer acks at publication (Wait) like a synchronous
+	// client would.
+	{
+		d := build()
+		if err := d.EnableGroupCommit(document.GroupConfig{MaxBatch: writeBatch}); err != nil {
+			panic(err)
+		}
+		e0 := d.Stats().Epoch
+		start := time.Now()
+		tickets := make([]*document.Ticket, 0, writeMutations)
+		for i := 0; i < writeMutations/2; i++ {
+			ti, err := d.EnqueueInsert(cellPath(i), 0, xmltree.NewElement("w"))
+			if err != nil {
+				panic(err)
+			}
+			td, err := d.EnqueueDelete(cellPath(i), 0)
+			if err != nil {
+				panic(err)
+			}
+			tickets = append(tickets, ti, td)
+		}
+		for _, tk := range tickets {
+			if _, err := tk.Wait(context.Background()); err != nil {
+				panic(err)
+			}
+		}
+		el := time.Since(start)
+		rows = append(rows,
+			rate(fmt.Sprintf("write/mutation_ns/batch=%d", writeBatch), writeMutations, el),
+			pseudo(fmt.Sprintf("write/publishes_per_kmutation/batch=%d", writeBatch),
+				1000*float64(d.Stats().Epoch-e0)/writeMutations))
+		if err := d.Close(); err != nil {
+			panic(err)
+		}
+	}
+
+	// batch=64+wal: durable group commit — every mutation is fsync-acked
+	// before its enqueue returns, with eight writers so the group-sync
+	// leader election actually coalesces fsyncs (a lone serial writer would
+	// measure raw fsync latency instead of the write path).
+	{
+		d := build()
+		dir, err := os.MkdirTemp("", "ruidbench-wal-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		wal, err := storage.CreateWAL(filepath.Join(dir, "bench.wal"), storage.SyncGroup)
+		if err != nil {
+			panic(err)
+		}
+		if err := d.EnableGroupCommit(document.GroupConfig{MaxBatch: writeBatch, WAL: wal}); err != nil {
+			panic(err)
+		}
+		const writers = 8
+		perWriter := writeMutations / 2 / writers
+		cellsPer := writeCells / writers
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				tickets := make([]*document.Ticket, 0, 2*perWriter)
+				for i := 0; i < perWriter; i++ {
+					c := cellPath(w*cellsPer + i%cellsPer)
+					ti, err := d.EnqueueInsert(c, 0, xmltree.NewElement("w"))
+					if err != nil {
+						panic(err)
+					}
+					td, err := d.EnqueueDelete(c, 0)
+					if err != nil {
+						panic(err)
+					}
+					tickets = append(tickets, ti, td)
+				}
+				for _, tk := range tickets {
+					if _, err := tk.Wait(context.Background()); err != nil {
+						panic(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		el := time.Since(start)
+		rows = append(rows, rate(fmt.Sprintf("write/mutation_ns/batch=%d+wal", writeBatch), writeMutations, el))
+		if err := d.Close(); err != nil {
+			panic(err)
+		}
+	}
+	return rows
+}
+
 // Default scale of the out-of-core I/O rows: big enough that the stored
 // tables dwarf the ~5% pool and the baselines page on every chain, small
 // enough that a -json baseline run stays in tens of seconds.
@@ -654,6 +832,7 @@ func runMicrobench(out io.Writer) error {
 		})
 	}
 	results = append(results, bytesPerPostingRows()...)
+	results = append(results, writeRows()...)
 	results = append(results, schemeRows...)
 	// The out-of-core rows always run at the default scale here so the
 	// committed baseline stays comparable run to run; -io-json re-measures

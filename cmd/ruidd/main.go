@@ -9,10 +9,19 @@
 //
 //	ruidd [-addr :8712] [-inflight N] [-queue N]
 //	      [-max-postings N] [-max-results N] [-timeout 2s]
+//	      [-wal DIR] [-wal-sync group|always|none]
+//	      [-batch N] [-batch-delay D]
 //	      [-preload file.xml ...]
 //
 // Preloaded files are opened under their basename (sans extension) before
 // the listener starts, so a benchmark document is queryable immediately.
+//
+// -batch (or -wal) turns on the group-commit write path: mutations queue
+// into a per-document intake buffer and publish in coalesced epochs. With
+// -wal DIR each document keeps a write-ahead log at DIR/<name>.wal — a
+// write response is a durability acknowledgment (per -wal-sync), and
+// reopening a document after a crash replays every acknowledged mutation
+// from its log before serving.
 package main
 
 import (
@@ -38,6 +47,10 @@ func main() {
 	maxResults := flag.Int64("max-results", 0, "hard per-query result-row ceiling (0 = uncapped)")
 	timeout := flag.Duration("timeout", 0, "default per-query wall-clock budget (0 = none)")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "hard per-query deadline ceiling")
+	walDir := flag.String("wal", "", "per-document write-ahead log directory (enables group commit + crash recovery)")
+	walSync := flag.String("wal-sync", "group", "WAL fsync policy: group, always or none")
+	batch := flag.Int("batch", 0, "group-commit batch size; >0 enables the batched write path without a WAL (0 with -wal = default 64)")
+	batchDelay := flag.Duration("batch-delay", 0, "group-commit batch linger (0 = default 500µs)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ruidd [flags] [-preload file.xml ...]\n")
 		flag.PrintDefaults()
@@ -46,6 +59,12 @@ func main() {
 	flag.Var(&preload, "preload", "XML file to open at startup (repeatable); catalog name is the basename")
 	flag.Parse()
 
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "ruidd: wal dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	s := server.New(server.Config{
 		MaxInflight:    *inflight,
 		MaxQueue:       *queue,
@@ -53,6 +72,13 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Observe:        obs.NewRegistry(),
+		GroupCommit: server.GroupCommitConfig{
+			Enabled:    *batch > 0 || *walDir != "",
+			MaxBatch:   *batch,
+			MaxDelay:   *batchDelay,
+			WALDir:     *walDir,
+			SyncPolicy: *walSync,
+		},
 	})
 	for _, path := range preload {
 		src, err := os.ReadFile(path)
@@ -69,6 +95,10 @@ func main() {
 		st := d.Stats()
 		fmt.Fprintf(os.Stderr, "ruidd: opened %q (%d nodes, scheme %s)\n", name, st.Nodes, st.Scheme)
 	}
+	for _, rec := range s.Recoveries() {
+		fmt.Fprintf(os.Stderr, "ruidd: recovered %q: %d WAL records, %d applied, %d skipped, %d torn bytes cut\n",
+			rec.Doc, rec.Records, rec.Applied, rec.Skipped, rec.TornOff)
+	}
 
 	run, err := s.Serve(*addr)
 	if err != nil {
@@ -82,6 +112,7 @@ func main() {
 	<-sig
 	fmt.Fprintln(os.Stderr, "ruidd: shutting down")
 	_ = run.Close()
+	_ = s.Close() // flush group-commit queues, close WALs
 }
 
 // multiFlag collects a repeatable string flag.

@@ -8,7 +8,8 @@
 //
 //	ruidload [-addr host:port | -self] [-doc bench] [-scale 3] [-seed 11]
 //	         [-query "/site//item/name"] [-qps 400] [-duration 3s]
-//	         [-sweep 100,200,400,800] [-write-frac 0.05]
+//	         [-sweep 100,200,400,800] [-write-ratio 0.5] [-wait-visible]
+//	         [-batch N] [-wal DIR]
 //	         [-max-postings N] [-timeout 250ms] [-json]
 //
 // With -self it starts an in-process server (obs-hardened, same code path
@@ -18,6 +19,13 @@
 // offered rate and prints a qps vs latency table — the E9 protocol in
 // EXPERIMENTS.md; -json emits the same rows machine-readable, the format
 // committed as BENCH_saturation.json.
+//
+// -write-ratio (alias -write-frac) issues that fraction of requests as
+// structural inserts — the write-heavy mode for measuring read-latency
+// interference from a loaded write path (EXPERIMENTS.md E16). With -batch
+// or -wal the -self server runs the group-commit write path, so writes
+// coalesce into batched epoch publications; -wait-visible makes each write
+// request ack at publication instead of at durability.
 package main
 
 import (
@@ -46,10 +54,11 @@ type round struct {
 	AchievedQPS float64 `json:"achieved_qps"` // completed OK per second
 	Sent        int     `json:"sent"`
 	OK          int     `json:"ok"`
-	Shed        int     `json:"shed"`     // 503: admission refused
-	Budget      int     `json:"budget"`   // 422: postings/result budget
-	Deadline    int     `json:"deadline"` // 504: wall clock
-	Errors      int     `json:"errors"`   // transport or unexpected status
+	Shed        int     `json:"shed"`             // 503: admission refused
+	Budget      int     `json:"budget"`           // 422: postings/result budget
+	Deadline    int     `json:"deadline"`         // 504: wall clock
+	Errors      int     `json:"errors"`           // transport or unexpected status
+	Writes      int     `json:"writes,omitempty"` // requests issued as inserts
 	P50US       int64   `json:"p50_us"`
 	P95US       int64   `json:"p95_us"`
 	P99US       int64   `json:"p99_us"`
@@ -65,7 +74,12 @@ func main() {
 	qps := flag.Int("qps", 400, "offered queries per second (single round)")
 	duration := flag.Duration("duration", 3*time.Second, "length of each round")
 	sweep := flag.String("sweep", "", "comma-separated offered-qps levels (overrides -qps)")
-	writeFrac := flag.Float64("write-frac", 0, "fraction of requests issued as inserts")
+	writeFrac := flag.Float64("write-frac", 0, "fraction of requests issued as inserts (alias of -write-ratio)")
+	writeRatio := flag.Float64("write-ratio", 0, "fraction of requests issued as inserts (write-heavy mode)")
+	waitVisible := flag.Bool("wait-visible", false, "writes ack at epoch publication instead of durability")
+	batch := flag.Int("batch", 0, "-self only: group-commit batch size (>0 enables the batched write path)")
+	batchDelay := flag.Duration("batch-delay", 0, "-self only: group-commit batch linger")
+	walDir := flag.String("wal", "", "-self only: per-document WAL directory (enables group commit + durability acks)")
 	maxPostings := flag.Int64("max-postings", 0, "per-query postings budget sent with each request")
 	timeout := flag.Duration("timeout", 0, "per-query timeout sent with each request")
 	inflight := flag.Int("inflight", 0, "-self only: server MaxInflight")
@@ -73,7 +87,15 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print rounds as JSON instead of a table")
 	flag.Parse()
 
-	base, cleanup, err := target(*addr, *self, *inflight, *queue)
+	if *writeRatio > 0 {
+		*writeFrac = *writeRatio
+	}
+	base, cleanup, err := target(*addr, *self, *inflight, *queue, server.GroupCommitConfig{
+		Enabled:  *batch > 0 || *walDir != "",
+		MaxBatch: *batch,
+		MaxDelay: *batchDelay,
+		WALDir:   *walDir,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -101,11 +123,11 @@ func main() {
 	})
 	rounds := make([]round, 0, len(levels))
 	for _, lvl := range levels {
-		r := run(base, *doc, qbody, lvl, *duration, *writeFrac)
+		r := run(base, *doc, qbody, lvl, *duration, *writeFrac, *waitVisible)
 		rounds = append(rounds, r)
 		if !*jsonOut {
-			fmt.Printf("offered %5d qps: ok %6d (%.0f/s)  shed %5d  budget %4d  deadline %4d  err %3d  p50 %6dus  p95 %6dus  p99 %6dus\n",
-				r.OfferedQPS, r.OK, r.AchievedQPS, r.Shed, r.Budget, r.Deadline, r.Errors, r.P50US, r.P95US, r.P99US)
+			fmt.Printf("offered %5d qps: ok %6d (%.0f/s)  shed %5d  budget %4d  deadline %4d  err %3d  writes %5d  p50 %6dus  p95 %6dus  p99 %6dus\n",
+				r.OfferedQPS, r.OK, r.AchievedQPS, r.Shed, r.Budget, r.Deadline, r.Errors, r.Writes, r.P50US, r.P95US, r.P99US)
 		}
 	}
 	if *jsonOut {
@@ -116,19 +138,20 @@ func main() {
 }
 
 // target resolves the base URL, starting an in-process server for -self.
-func target(addr string, self bool, inflight, queue int) (string, func(), error) {
+func target(addr string, self bool, inflight, queue int, gc server.GroupCommitConfig) (string, func(), error) {
 	if self || addr == "" {
 		s := server.New(server.Config{
 			MaxInflight: inflight,
 			MaxQueue:    queue,
 			Observe:     obs.NewRegistry(),
+			GroupCommit: gc,
 		})
 		running, err := s.Serve("127.0.0.1:0")
 		if err != nil {
 			return "", nil, err
 		}
 		fmt.Fprintf(os.Stderr, "ruidload: self-serving on %s\n", running.Addr())
-		return "http://" + running.Addr(), func() { _ = running.Close() }, nil
+		return "http://" + running.Addr(), func() { _ = running.Close(); _ = s.Close() }, nil
 	}
 	return "http://" + addr, func() {}, nil
 }
@@ -160,7 +183,7 @@ func ensureDoc(base, name string, scale int, seed int64) error {
 }
 
 // run offers one round at a fixed rate and aggregates the outcomes.
-func run(base, doc string, qbody []byte, offered int, d time.Duration, writeFrac float64) round {
+func run(base, doc string, qbody []byte, offered int, d time.Duration, writeFrac float64, waitVisible bool) round {
 	type outcome struct {
 		status  int
 		elapsed time.Duration
@@ -185,7 +208,8 @@ func run(base, doc string, qbody []byte, offered int, d time.Duration, writeFrac
 			writes++
 			wr, _ := json.Marshal(server.WriteRequest{
 				Parent: "/site/regions", Pos: 0,
-				XML: fmt.Sprintf("<item><name>load-%d</name></item>", writes),
+				XML:         fmt.Sprintf("<item><name>load-%d</name></item>", writes),
+				WaitVisible: waitVisible,
 			})
 			body = wr
 		}
@@ -206,7 +230,7 @@ func run(base, doc string, qbody []byte, offered int, d time.Duration, writeFrac
 	wg.Wait()
 	wall := time.Since(start)
 
-	r := round{OfferedQPS: offered, Sent: total}
+	r := round{OfferedQPS: offered, Sent: total, Writes: writes}
 	var lat []time.Duration
 	for _, o := range results {
 		switch {

@@ -6,7 +6,7 @@
 //
 //	xq [-nav ruid|uid|pointer|planner] [-area N] [-serialize]
 //	   [-explain-analyze] [-stats] [-parallel auto|serial|forced]
-//	   [-workers N] [-serve addr] [-pool-pages N] [-cold]
+//	   [-workers N] [-serve addr] [-pool-pages N] [-cold] [-writes N]
 //	   'xpath' [file.xml]
 //
 // With no file argument the document is read from standard input. The ruid
@@ -20,6 +20,10 @@
 //     cost estimates, per-stage cardinalities and wall times, per-shard
 //     durations, blocks admitted versus skipped) instead of the result set.
 //   - -stats dumps the engine metric registry after the query.
+//   - -writes N drives N inserts through the group-commit write path before
+//     the query (facade modes), so -stats and -serve expose the write.*
+//     metrics — queue depth, batch-size histogram, publish counters — from
+//     a single command.
 //   - -serve addr keeps the process alive after the query, exposing
 //     /metrics, /metrics.json, /debug/vars and /debug/pprof on addr.
 //
@@ -35,6 +39,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -63,6 +68,7 @@ type config struct {
 	serve     string // -serve: observability HTTP address ("" = off)
 	poolPages int    // -pool-pages: buffer-pool frames (0 = resident)
 	cold      bool   // -cold: reopen from a bundle before querying
+	writes    int    // -writes: group-commit inserts to drive before the query
 }
 
 func main() {
@@ -78,6 +84,7 @@ func main() {
 	flag.StringVar(&cfg.serve, "serve", "", "serve /metrics and /debug/pprof on this address after the query")
 	flag.IntVar(&cfg.poolPages, "pool-pages", 0, "back postings and node payloads with an N-frame buffer pool (ruid scheme only)")
 	flag.BoolVar(&cfg.cold, "cold", false, "round-trip through a saved bundle and reopen cold before querying")
+	flag.IntVar(&cfg.writes, "writes", 0, "drive N group-commit inserts before the query (facade modes; pairs with -stats)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xq [flags] 'xpath' [file.xml]\n")
 		flag.PrintDefaults()
@@ -160,6 +167,38 @@ func run(cfg config, query, path string, out io.Writer) error {
 		return cold, nil
 	}
 
+	// driveWrites pushes -writes synthetic inserts through the group-commit
+	// path so the write.* metrics are live when -stats or -serve dumps the
+	// registry. The inserts land as <xqwrite/> children of the document
+	// element and stay in the queried tree.
+	driveWrites := func(d *document.Document) error {
+		if cfg.writes <= 0 {
+			return nil
+		}
+		if err := d.EnableGroupCommit(document.GroupConfig{}); err != nil {
+			return err
+		}
+		root := d.Snapshot().Tree().DocumentElement()
+		if root == nil {
+			return fmt.Errorf("-writes: document has no element root")
+		}
+		parent := "/" + root.Name
+		tickets := make([]*document.Ticket, 0, cfg.writes)
+		for i := 0; i < cfg.writes; i++ {
+			tk, err := d.EnqueueInsert(parent, 0, xmltree.NewElement("xqwrite"))
+			if err != nil {
+				return fmt.Errorf("-writes: %w", err)
+			}
+			tickets = append(tickets, tk)
+		}
+		for _, tk := range tickets {
+			if _, err := tk.Wait(context.Background()); err != nil {
+				return fmt.Errorf("-writes: %w", err)
+			}
+		}
+		return nil
+	}
+
 	// ioReport prints the buffer-pool ledger for out-of-core documents.
 	ioReport := func(d *document.Document) {
 		if d.Store() == nil {
@@ -193,6 +232,9 @@ func run(cfg config, query, path string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if err := driveWrites(d); err != nil {
+			return err
+		}
 		if cfg.explain {
 			report, err := d.ExplainAnalyze(query)
 			if err != nil {
@@ -216,6 +258,9 @@ func run(cfg config, query, path string, out io.Writer) error {
 	case "ruid":
 		d, err := open(in)
 		if err != nil {
+			return err
+		}
+		if err := driveWrites(d); err != nil {
 			return err
 		}
 		snap := d.Snapshot()
@@ -243,6 +288,9 @@ func run(cfg config, query, path string, out io.Writer) error {
 		}
 		if cfg.cold || cfg.poolPages > 0 {
 			return fmt.Errorf("-cold and -pool-pages need the facade: use -nav ruid or -nav planner")
+		}
+		if cfg.writes > 0 {
+			return fmt.Errorf("-writes needs the facade: use -nav ruid or -nav planner")
 		}
 		doc, err := xmltree.Parse(in)
 		if err != nil {

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// TestMergeDeltasScopes pins the merge algebra on hand-built deltas:
+// deleted areas evict earlier dirty/row-moved entries, dirty supersedes
+// row-moved, counts accumulate, Full is sticky.
+func TestMergeDeltasScopes(t *testing.T) {
+	d1 := &Delta{Dirty: []int64{2, 3}, RowMoved: []int64{5, 6}, InsertedCount: 4}
+	d2 := &Delta{Dirty: []int64{3, 5}, DeletedAreas: []int64{6}, InsertedCount: 1,
+		Dropped: []NodeID{{}, {}}}
+	d3 := &Delta{Dirty: []int64{7}, DeletedAreas: []int64{3}}
+	m := MergeDeltas([]*Delta{d1, d2, d3})
+
+	has := func(s []int64, g int64) bool {
+		for _, v := range s {
+			if v == g {
+				return true
+			}
+		}
+		return false
+	}
+	if has(m.Dirty, 3) || has(m.Dirty, 6) {
+		t.Fatalf("deleted areas leaked into Dirty: %v", m.Dirty)
+	}
+	if !has(m.Dirty, 2) || !has(m.Dirty, 5) || !has(m.Dirty, 7) {
+		t.Fatalf("Dirty union incomplete: %v", m.Dirty)
+	}
+	if len(m.RowMoved) != 0 {
+		// 5 went dirty in d2, 6 was deleted in d2.
+		t.Fatalf("RowMoved should be empty: %v", m.RowMoved)
+	}
+	if !has(m.DeletedAreas, 3) || !has(m.DeletedAreas, 6) || len(m.DeletedAreas) != 2 {
+		t.Fatalf("DeletedAreas = %v", m.DeletedAreas)
+	}
+	if m.InsertedCount != 5 || len(m.Dropped) != 2 {
+		t.Fatalf("counts: inserted %d dropped %d", m.InsertedCount, len(m.Dropped))
+	}
+	if m.Full {
+		t.Fatal("Full without any full member")
+	}
+	if !MergeDeltas([]*Delta{d1, {Full: true}}).Full {
+		t.Fatal("Full not sticky")
+	}
+	if one := MergeDeltas([]*Delta{d1}); one != d1 {
+		t.Fatal("single-delta batch must pass through unchanged")
+	}
+}
+
+// TestMergedDeltaPublication drives the whole batch-publication pipeline at
+// the core level: several updates are applied to the master one at a time,
+// their deltas merged, and ONE incremental clone built over the
+// pre-batch epoch. The result must stamp every node with exactly the
+// identifiers a full clone of the post-batch master assigns.
+func TestMergedDeltaPublication(t *testing.T) {
+	master := xmltree.Recursive(2, 9) // ~1k elements
+	n, err := Build(master, Options{Partition: PartitionConfig{MaxAreaNodes: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pre-batch epoch, exactly as the facade holds it.
+	prevTree, m2e := master.CloneWithMap()
+	prev, err := n.CloneFor(prevTree, m2e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The batch: inserts at scattered parents, a delete of a deep subtree
+	// (drops whole descendant areas), and an insert later deleted again so
+	// the count arithmetic has to cancel.
+	top := master.DocumentElement().ChildElements("section")[0]
+	sections := top.ChildElements("section")
+	if len(sections) < 2 {
+		t.Fatalf("fixture too small: %d sections", len(sections))
+	}
+	var deltas []*Delta
+	apply := func(d *Delta, err error) *Delta {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas = append(deltas, d)
+		return d
+	}
+	_, d, err2 := n.InsertChildDelta(sections[0], 0, xmltree.NewElement("w1"))
+	apply(d, err2)
+	_, d, err2 = n.InsertChildDelta(sections[1], 1, xmltree.NewElement("w2"))
+	apply(d, err2)
+	// Delete a pre-existing deep subtree: sections[1]'s first section child.
+	victimPos := -1
+	for i, c := range sections[1].Children {
+		if c.Name == "section" {
+			victimPos = i
+			break
+		}
+	}
+	if victimPos < 0 {
+		t.Fatal("no deep subtree to delete")
+	}
+	_, d, err2 = n.DeleteChildDelta(sections[1], victimPos)
+	apply(d, err2)
+	// Insert then delete the same child: nets out of every count.
+	_, d, err2 = n.InsertChildDelta(sections[0], 0, xmltree.NewElement("ephemeral"))
+	apply(d, err2)
+	_, d, err2 = n.DeleteChildDelta(sections[0], 0)
+	apply(d, err2)
+
+	merged := MergeDeltas(deltas)
+	if merged.Full {
+		t.Fatal("batch unexpectedly healed an overflow; pick smaller mutations")
+	}
+
+	copySet := n.CopySet(merged)
+	tree, copies, err := master.CloneAlong(copySet, m2e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := n.CloneDelta(prev, merged, copies, m2e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: a full clone of the post-batch master.
+	fullTree, fullMap := master.CloneWithMap()
+	oracle, err := n.CloneFor(fullTree, fullMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Size() != oracle.Size() {
+		t.Fatalf("size: incremental %d, full %d", inc.Size(), oracle.Size())
+	}
+
+	// Both clones mirror the master's shape; their stamps must agree node
+	// for node. Shared subtrees keep the pre-batch stamps, which are only
+	// correct if the merged CopySet really covered every relabel.
+	var walk func(a, b *xmltree.Node)
+	walk = func(a, b *xmltree.Node) {
+		if a.Name != b.Name || len(a.Children) != len(b.Children) {
+			t.Fatalf("shape divergence at %s vs %s", a.Path(), b.Path())
+		}
+		if a.Kind == xmltree.Element && a.Num != b.Num {
+			t.Fatalf("stamp mismatch at %s: incremental %+v, full %+v", a.Path(), a.Num, b.Num)
+		}
+		for i := range a.Children {
+			walk(a.Children[i], b.Children[i])
+		}
+	}
+	walk(tree, fullTree)
+
+	// The merged publication must also answer axes identically.
+	ids := make([]ID, 0, 8)
+	fullTree.Walk(func(x *xmltree.Node) bool {
+		if x.Kind == xmltree.Element && len(ids) < 8 {
+			if id, ok := oracle.RUID(x); ok {
+				ids = append(ids, id)
+			}
+		}
+		return true
+	})
+	for _, id := range ids {
+		a := inc.Children(id)
+		b := oracle.Children(id)
+		if len(a) != len(b) {
+			t.Fatalf("children(%v): %d vs %d", id, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("children(%v)[%d]: %v vs %v", id, i, a[i], b[i])
+			}
+		}
+	}
+}

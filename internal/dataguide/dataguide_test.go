@@ -144,3 +144,74 @@ func TestGuideCompression(t *testing.T) {
 		t.Fatalf("Count(dblp/article) = %d", g.Count("dblp", "article"))
 	}
 }
+
+// TestGuideBatchFold: a batch fold over N updates produces exactly the
+// guide that N chained WithUpdate calls produce, the base guide is left
+// untouched, and an inconsistent update breaks the whole batch (nil
+// result, matching the nil-WithUpdate rebuild contract).
+func TestGuideBatchFold(t *testing.T) {
+	doc, err := xmltree.ParseString(
+		`<a><b><c/><c/></b><b><d/></b><e><c/></e></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := dataguide.Build(doc)
+	basePaths := strings.Join(base.Paths(), ",")
+
+	sub1, _ := xmltree.ParseString(`<f><c/></f>`)
+	sub2, _ := xmltree.ParseString(`<c/>`)
+	updates := []struct {
+		prefix []string
+		sub    *xmltree.Node
+		delta  int
+	}{
+		{[]string{"a", "b"}, sub1.DocumentElement(), +1}, // new paths a/b/f, a/b/f/c
+		{[]string{"a", "e"}, sub2.DocumentElement(), -1}, // prunes a/e/c
+		{[]string{"a"}, sub2.DocumentElement(), +1},      // new path a/c
+	}
+
+	chained := base
+	fold := base.Begin()
+	for _, u := range updates {
+		chained = chained.WithUpdate(u.prefix, u.sub, u.delta)
+		if chained == nil {
+			t.Fatal("WithUpdate chain broke on a consistent update")
+		}
+		if !fold.Update(u.prefix, u.sub, u.delta) {
+			t.Fatal("Batch.Update rejected a consistent update")
+		}
+	}
+	folded := fold.Guide()
+	if folded == nil {
+		t.Fatal("Batch.Guide returned nil for a consistent batch")
+	}
+	if got, want := strings.Join(folded.Paths(), ","), strings.Join(chained.Paths(), ","); got != want {
+		t.Fatalf("folded paths %q != chained paths %q", got, want)
+	}
+	for _, p := range [][]string{{"a", "b", "f", "c"}, {"a", "c"}, {"a", "e", "c"}, {"a", "b", "c"}} {
+		if folded.Count(p...) != chained.Count(p...) {
+			t.Fatalf("Count(%v): folded %d != chained %d", p, folded.Count(p...), chained.Count(p...))
+		}
+	}
+	if folded.Size() != chained.Size() {
+		t.Fatalf("Size: folded %d != chained %d", folded.Size(), chained.Size())
+	}
+	if got := strings.Join(base.Paths(), ","); got != basePaths {
+		t.Fatalf("batch fold mutated the base guide: %q != %q", got, basePaths)
+	}
+
+	// Removing a path the guide never recorded breaks the batch as a whole.
+	bad := base.Begin()
+	if !bad.Update([]string{"a"}, sub2.DocumentElement(), +1) {
+		t.Fatal("setup update rejected")
+	}
+	if bad.Update([]string{"a", "b"}, xmltree.NewElement("nope"), -1) {
+		t.Fatal("inconsistent removal accepted")
+	}
+	if bad.Update([]string{"a"}, sub2.DocumentElement(), +1) {
+		t.Fatal("broken batch accepted a further update")
+	}
+	if bad.Guide() != nil {
+		t.Fatal("broken batch still produced a guide")
+	}
+}

@@ -63,6 +63,53 @@ func (g *Guide) apply(at *Node, sub *xmltree.Node, delta int) bool {
 	return true
 }
 
+// Batch folds a run of updates into ONE working copy of the guide: a
+// group-commit publication pays the deep copy once per batch instead of
+// once per mutation (the per-mutation WithUpdate clone dominates the write
+// path on name-rich documents). The base guide is never mutated; the
+// working copy is private until Guide() hands it out.
+type Batch struct {
+	g  *Guide
+	ok bool
+}
+
+// Begin starts a batch fold over a copy of g.
+func (g *Guide) Begin() *Batch {
+	return &Batch{g: g.clone(), ok: true}
+}
+
+// Update folds one inserted (delta = +1) or removed (delta = -1) subtree,
+// with the same prefix contract as WithUpdate. It reports false on an
+// inconsistency; the batch is then broken as a whole — apply may have
+// partially adjusted the working copy — and Guide() returns nil.
+func (b *Batch) Update(prefix []string, sub *xmltree.Node, delta int) bool {
+	if !b.ok {
+		return false
+	}
+	at := b.g.root
+	for _, label := range prefix {
+		at = at.Children[label]
+		if at == nil {
+			b.ok = false
+			return false
+		}
+	}
+	if !b.g.apply(at, sub, delta) {
+		b.ok = false
+		return false
+	}
+	return true
+}
+
+// Guide returns the folded guide, or nil when any update was inconsistent
+// (callers rebuild with Build, exactly as for a nil WithUpdate result).
+func (b *Batch) Guide() *Guide {
+	if !b.ok {
+		return nil
+	}
+	return b.g
+}
+
 // pathCount returns the number of label paths a trie subtree contributes.
 func pathCount(n *Node) int {
 	total := 1

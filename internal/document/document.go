@@ -174,6 +174,11 @@ type Document struct {
 
 	epoch uint64
 	cur   atomic.Pointer[Snapshot]
+
+	// grp is the group-commit write path (group.go), nil until
+	// EnableGroupCommit. Held in an atomic pointer so Enqueue* never takes
+	// d.mu on the intake side.
+	grp atomic.Pointer[groupCommitter]
 }
 
 // Snapshot is one immutable epoch of a Document: a consistent bundle of
@@ -352,6 +357,176 @@ func (d *Document) publishLocked(delta *core.Delta, nodes, depths int) error {
 	d.maintainPayloadsLocked(delta)
 	d.noteEpochLocked(false, st, time.Since(start))
 	return nil
+}
+
+// publishBatchLocked installs ONE epoch covering a whole batch of applied
+// updates: the per-mutation deltas are merged into the union of their
+// update scopes (core.MergeDeltas) and a single incremental assembly —
+// one CloneAlong, one CloneDelta, one index patch, one guide swap — covers
+// every mutation. guide is the batch's eagerly folded DataGuide (nil when
+// a fold reported an inconsistency; assembly then rebuilds it from the
+// master). A batch containing any full-rebuild delta falls back to a full
+// clone, exactly like the single-mutation path. Callers hold d.mu.
+func (d *Document) publishBatchLocked(prev *Snapshot, deltas []*core.Delta, guide *dataguide.Guide, nodes, depths int) error {
+	merged := core.MergeDeltas(deltas)
+	if prev == nil || merged == nil || merged.Full {
+		return d.publishFullLocked(nodes, depths)
+	}
+	var start time.Time
+	if d.dm != nil {
+		start = time.Now()
+	}
+	snap, st, err := d.assembleBatchLocked(prev, deltas, merged, guide, nodes, depths)
+	if err != nil {
+		// Incremental assembly fails only on an internal invariant
+		// violation; a full publication always recovers a consistent epoch.
+		return d.publishFullLocked(nodes, depths)
+	}
+	d.epoch++
+	snap.epoch = d.epoch
+	d.cur.Store(snap)
+	d.nodeCount, d.depthSum = nodes, depths
+	// The payload table replays the batch's deltas in application order:
+	// each delta deletes dropped/old-key rows before writing new bindings,
+	// so relabel chains across batch members resolve to the final keys.
+	for _, delta := range deltas {
+		d.maintainPayloadsLocked(delta)
+	}
+	d.noteEpochLocked(false, st, time.Since(start))
+	return nil
+}
+
+// assembleBatchLocked is assembleDeltaLocked over a merged batch scope:
+// tree and numbering derive from the merged delta, the index patch and the
+// master→epoch bookkeeping from the per-mutation deltas. Callers hold d.mu.
+func (d *Document) assembleBatchLocked(prev *Snapshot, deltas []*core.Delta, merged *core.Delta, guide *dataguide.Guide, nodes, depths int) (*Snapshot, index.DeltaStats, error) {
+	copySet := d.num.CopySet(merged)
+	tree, copies, err := d.master.CloneAlong(copySet, d.m2e)
+	if err != nil {
+		return nil, index.DeltaStats{}, err
+	}
+	num, err := d.num.CloneDelta(prev.num, merged, copies, d.m2e)
+	if err != nil {
+		return nil, index.DeltaStats{}, err
+	}
+	ix, st, err := d.applyIndexBatch(prev, num, deltas)
+	if err != nil {
+		return nil, st, err
+	}
+	if guide == nil {
+		// A fold inconsistency was detected mid-batch; the guide holds label
+		// paths and counts only, so rebuilding from the master is safe.
+		guide = dataguide.Build(d.master)
+	}
+	// Commit the master→epoch mapping only once every component assembled.
+	for xm, xc := range copies {
+		d.m2e[xm] = xc
+	}
+	for _, delta := range deltas {
+		if delta.Removed != nil {
+			delta.Removed.WalkFull(func(x *xmltree.Node) bool {
+				delete(d.m2e, x)
+				return true
+			})
+		}
+	}
+	planner := query.NewWithState(tree, num, ix, guide, nodes, depths)
+	planner.SetExecutor(d.exec)
+	planner.SetObserver(d.reg)
+	d.wireIOStats(planner)
+	return &Snapshot{
+		tree:       tree,
+		num:        num,
+		s:          num,
+		schemeName: "ruid",
+		planner:    planner,
+		nodes:      nodes,
+	}, st, nil
+}
+
+// applyIndexBatch composes the batch's per-mutation deltas into one set of
+// per-name posting edits against prev's index. Identifiers may be relabeled
+// several times inside one batch; the index only needs the ENDPOINTS of
+// each chain — a node's first pre-batch identifier and its final one (read
+// off the post-batch master numbering). Three cases fold out:
+//
+//   - pre-existing node, still present: relabel firstOld → final (dropped
+//     when they coincide — the chain returned to its origin);
+//   - pre-existing node, gone: remove firstOld;
+//   - node inserted by this batch: only its final identifier is inserted,
+//     and only if it survived the batch (a batch-internal insert-then-
+//     delete leaves no trace — its intermediate identifiers never existed
+//     in any published posting list).
+//
+// Drops of batch-inserted nodes can surface identifiers prev never held
+// (the node was detached before publication); their removal entries filter
+// nothing and are harmless.
+func (d *Document) applyIndexBatch(prev *Snapshot, num *core.Numbering, deltas []*core.Delta) (*index.NameIndex, index.DeltaStats, error) {
+	if len(deltas) == 1 {
+		return d.applyIndexDelta(prev, num, deltas[0])
+	}
+	// Elements inserted by this batch and still attached: their relabels
+	// and drops are batch-internal, not prev-epoch edits.
+	insertedNodes := make(map[*xmltree.Node]bool)
+	for _, delta := range deltas {
+		if delta.Inserted != nil {
+			delta.Inserted.Walk(func(x *xmltree.Node) bool {
+				if x.Kind == xmltree.Element {
+					insertedNodes[x] = true
+				}
+				return true
+			})
+		}
+	}
+	// First pre-batch identifier of every pre-existing element the batch
+	// touched, in application order.
+	orig := make(map[*xmltree.Node]core.ID)
+	for _, delta := range deltas {
+		for _, r := range delta.Relabels {
+			if r.Node.Kind != xmltree.Element || insertedNodes[r.Node] {
+				continue
+			}
+			if _, seen := orig[r.Node]; !seen {
+				orig[r.Node] = r.Old
+			}
+		}
+		for _, p := range delta.Dropped {
+			if p.Node.Kind != xmltree.Element || insertedNodes[p.Node] {
+				continue
+			}
+			if _, seen := orig[p.Node]; !seen {
+				orig[p.Node] = p.ID
+			}
+		}
+	}
+	relabeled := make(map[string]map[core.ID]core.ID)
+	removed := make(map[string]map[core.ID]bool)
+	for x, old := range orig {
+		if cur, ok := d.num.RUID(x); ok {
+			if cur != old {
+				m := relabeled[x.Name]
+				if m == nil {
+					m = make(map[core.ID]core.ID)
+					relabeled[x.Name] = m
+				}
+				m[old] = cur
+			}
+		} else {
+			m := removed[x.Name]
+			if m == nil {
+				m = make(map[core.ID]bool)
+				removed[x.Name] = m
+			}
+			m[old] = true
+		}
+	}
+	inserted := make(map[string][]core.ID)
+	for x := range insertedNodes {
+		if id, ok := d.num.RUID(x); ok {
+			inserted[x.Name] = append(inserted[x.Name], id)
+		}
+	}
+	return prev.Index().ApplyDeltaStats(num, relabeled, removed, inserted)
 }
 
 // publishFullLocked clones the master tree, re-points a copy of the

@@ -1,0 +1,405 @@
+package document
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/xmltree"
+)
+
+// groupFixture builds a document with small areas so batches cross area
+// boundaries and exercise relabel chains.
+func groupFixture(t *testing.T) *Document {
+	t.Helper()
+	d, err := FromTree(xmltree.Recursive(2, 6), Options{
+		Partition: core.PartitionConfig{MaxAreaNodes: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// batchMutation is one scripted op for the equivalence tests.
+type batchMutation struct {
+	insert bool
+	parent string
+	pos    int
+	xml    string
+}
+
+// scriptedBatch is a mixed workload: inserts at scattered parents, deletes
+// of pre-existing subtrees, and an insert-then-delete pair that must leave
+// no trace.
+func scriptedBatch() []batchMutation {
+	return []batchMutation{
+		{insert: true, parent: "/book/section", pos: 0, xml: "<w1><t1/></w1>"},
+		{insert: true, parent: "/book/section/section", pos: 1, xml: "<w2/>"},
+		{insert: true, parent: "/book/section/section/section", pos: 0, xml: "<w3>text</w3>"},
+		{parent: "/book/section/section", pos: 3}, // delete a deep pre-existing subtree
+		{insert: true, parent: "/book", pos: 1, xml: "<ephemeral><x/></ephemeral>"},
+		{parent: "/book", pos: 1}, // ... and remove it again
+		{insert: true, parent: "/book/section", pos: 2, xml: "<w4/>"},
+		{parent: "/book/section/section/section", pos: 0}, // delete the just-inserted w3
+	}
+}
+
+func applySerial(t *testing.T, d *Document, muts []batchMutation) {
+	t.Helper()
+	for i, m := range muts {
+		var err error
+		if m.insert {
+			sub, perr := parseSubtree(m.xml)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			_, err = d.Insert(m.parent, m.pos, sub)
+		} else {
+			_, err = d.Delete(m.parent, m.pos)
+		}
+		if err != nil {
+			t.Fatalf("serial op %d: %v", i, err)
+		}
+	}
+}
+
+func enqueueAll(t *testing.T, d *Document, muts []batchMutation) []*Ticket {
+	t.Helper()
+	tickets := make([]*Ticket, len(muts))
+	for i, m := range muts {
+		var err error
+		if m.insert {
+			sub, perr := parseSubtree(m.xml)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			tickets[i], err = d.EnqueueInsert(m.parent, m.pos, sub)
+		} else {
+			tickets[i], err = d.EnqueueDelete(m.parent, m.pos)
+		}
+		if err != nil {
+			t.Fatalf("enqueue op %d: %v", i, err)
+		}
+	}
+	return tickets
+}
+
+// assertDocsEqual compares two documents' current epochs byte for byte:
+// serialized tree, numbering stamps node by node, stats and a set of probe
+// queries.
+func assertDocsEqual(t *testing.T, got, want *Document) {
+	t.Helper()
+	gs, ws := got.Snapshot(), want.Snapshot()
+	if g, w := xmltree.Serialize(gs.Tree()), xmltree.Serialize(ws.Tree()); g != w {
+		t.Fatalf("trees diverge:\n got %s\nwant %s", g, w)
+	}
+	var walk func(a, b *xmltree.Node)
+	walk = func(a, b *xmltree.Node) {
+		if a.Kind == xmltree.Element && a.Num != b.Num {
+			t.Fatalf("stamp mismatch at %s: got %+v want %+v", a.Path(), a.Num, b.Num)
+		}
+		for i := range a.Children {
+			walk(a.Children[i], b.Children[i])
+		}
+	}
+	walk(gs.Tree(), ws.Tree())
+	g, w := got.Stats(), want.Stats()
+	if g.Nodes != w.Nodes || g.Areas != w.Areas || g.Names != w.Names {
+		t.Fatalf("stats diverge: got %+v want %+v", g, w)
+	}
+	for _, q := range []string{"//section", "//title", "//w1", "//w4", "//ephemeral", "/book/section//para"} {
+		gr, _, gerr := gs.Query(q)
+		wr, _, werr := ws.Query(q)
+		if (gerr != nil) != (werr != nil) {
+			t.Fatalf("%s: errors diverge: %v vs %v", q, gerr, werr)
+		}
+		if len(gr) != len(wr) {
+			t.Fatalf("%s: %d results, want %d", q, len(gr), len(wr))
+		}
+		for i := range gr {
+			if gr[i].Num != wr[i].Num || gr[i].Name != wr[i].Name {
+				t.Fatalf("%s[%d]: %s%+v vs %s%+v", q, i, gr[i].Name, gr[i].Num, wr[i].Name, wr[i].Num)
+			}
+		}
+	}
+}
+
+// TestGroupCommitEquivalence: one coalesced batch must leave the document
+// byte-identical to the serial per-mutation oracle — and must publish ONE
+// epoch for the whole batch.
+func TestGroupCommitEquivalence(t *testing.T) {
+	grouped, serial := groupFixture(t), groupFixture(t)
+	muts := scriptedBatch()
+	applySerial(t, serial, muts)
+
+	// A long linger guarantees the sequentially enqueued ops coalesce.
+	if err := grouped.EnableGroupCommit(GroupConfig{MaxBatch: 64, MaxDelay: 200 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer grouped.Close()
+	before := grouped.Snapshot().Epoch()
+	tickets := enqueueAll(t, grouped, muts)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, tk := range tickets {
+		if _, err := tk.Wait(ctx); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if got := grouped.Snapshot().Epoch(); got != before+1 {
+		t.Fatalf("batch published %d epochs, want 1", got-before)
+	}
+	assertDocsEqual(t, grouped, serial)
+
+	// No trace of the insert-then-delete pair.
+	if res, _, err := grouped.Query("//ephemeral"); err != nil || len(res) != 0 {
+		t.Fatalf("ephemeral survived: %v %v", res, err)
+	}
+}
+
+// TestGroupCommitRollback: a batch member failing mid-merge (bad path,
+// out-of-range position) must fail ALONE — the rest of the batch publishes
+// and the final state equals the serial application of the good members.
+func TestGroupCommitRollback(t *testing.T) {
+	grouped, serial := groupFixture(t), groupFixture(t)
+	good := []batchMutation{
+		{insert: true, parent: "/book/section", pos: 0, xml: "<w1/>"},
+		{insert: true, parent: "/book/section/section", pos: 1, xml: "<w2/>"},
+	}
+	bad := []batchMutation{
+		{insert: true, parent: "/book/nosuch", pos: 0, xml: "<nope/>"},
+		{parent: "/book/section", pos: 999},
+	}
+	applySerial(t, serial, good)
+
+	if err := grouped.EnableGroupCommit(GroupConfig{MaxBatch: 64, MaxDelay: 200 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer grouped.Close()
+	muts := []batchMutation{good[0], bad[0], bad[1], good[1]}
+	tickets := enqueueAll(t, grouped, muts)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, tk := range tickets {
+		_, err := tk.Wait(ctx)
+		wantErr := i == 1 || i == 2
+		if wantErr && err == nil {
+			t.Fatalf("op %d: bad mutation succeeded", i)
+		}
+		if !wantErr && err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	assertDocsEqual(t, grouped, serial)
+}
+
+// TestGroupCommitWALRecovery: acked mutations must survive a crash — a
+// fresh document replaying the log lands byte-identical to the writer's
+// final state — and a torn tail must not resurrect the unacked suffix.
+func TestGroupCommitWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "doc.wal")
+	wal, err := storage.CreateWAL(walPath, storage.SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer := groupFixture(t)
+	if err := writer.EnableGroupCommit(GroupConfig{MaxBatch: 4, MaxDelay: time.Millisecond, WAL: wal}); err != nil {
+		t.Fatal(err)
+	}
+	muts := scriptedBatch()
+	tickets := enqueueAll(t, writer, muts)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, tk := range tickets {
+		if tk.Seq() != int64(i+1) {
+			t.Fatalf("op %d: WAL seq %d", i, tk.Seq())
+		}
+		if _, err := tk.Wait(ctx); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := writer.Close(); err != nil { // flush + close the log
+		t.Fatal(err)
+	}
+
+	// "Crash" recovery: a fresh document over the same base image replays
+	// the log and must land exactly where the writer did.
+	recover := func(t *testing.T, path string) (*Document, int, int) {
+		t.Helper()
+		var records [][]byte
+		w, err := storage.OpenWAL(path, storage.SyncGroup, func(p []byte) error {
+			records = append(records, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		d := groupFixture(t)
+		epoch := d.Snapshot().Epoch()
+		applied, skipped, err := d.ReplayWAL(records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied > 0 && d.Snapshot().Epoch() != epoch+1 {
+			t.Fatalf("replay published %d epochs, want 1", d.Snapshot().Epoch()-epoch)
+		}
+		return d, applied, skipped
+	}
+
+	recovered, applied, skipped := recover(t, walPath)
+	if applied != len(muts) || skipped != 0 {
+		t.Fatalf("replay applied %d skipped %d, want %d/0", applied, skipped, len(muts))
+	}
+	assertDocsEqual(t, recovered, writer)
+
+	// Torn tail: cut the file mid-record. Recovery must truncate back to
+	// the last intact record and replay exactly that durable prefix — the
+	// serial oracle over the surviving records.
+	blob, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.wal")
+	if err := os.WriteFile(torn, blob[:len(blob)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tornDoc, tornApplied, _ := recover(t, torn)
+	if tornApplied != len(muts)-1 {
+		t.Fatalf("torn replay applied %d, want %d", tornApplied, len(muts)-1)
+	}
+	oracle := groupFixture(t)
+	applySerial(t, oracle, muts[:len(muts)-1])
+	assertDocsEqual(t, tornDoc, oracle)
+}
+
+// TestGroupCommitConcurrent drives concurrent writers against concurrent
+// pinned-snapshot readers across the async publish pipeline (run under
+// -race). Invariants: a pinned snapshot answers identically forever, every
+// acked insert is eventually visible, and the final count balances.
+func TestGroupCommitConcurrent(t *testing.T) {
+	d := groupFixture(t)
+	if err := d.EnableGroupCommit(GroupConfig{MaxBatch: 16, MaxDelay: 200 * time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	start := d.Stats().Nodes
+
+	const writers, perWriter, readers = 4, 25, 3
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := d.Snapshot()
+				a, _, err1 := s.Query("//section")
+				b, _, err2 := s.Query("//section")
+				if err1 != nil || err2 != nil || len(a) != len(b) {
+					t.Errorf("pinned snapshot unstable: %d vs %d (%v %v)", len(a), len(b), err1, err2)
+					return
+				}
+			}
+		}()
+	}
+	var werr sync.Map
+	var wwg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			// Writers target distinct parents so their inserts commute.
+			parent := "/book/section"
+			for i := 0; i < w; i++ {
+				parent += "/section"
+			}
+			for i := 0; i < perWriter; i++ {
+				tk, err := d.EnqueueInsert(parent, 0, xmltree.NewElement(fmt.Sprintf("leaf%dx%d", w, i)))
+				if err != nil {
+					werr.Store(fmt.Sprintf("w%d-enq%d", w, i), err)
+					return
+				}
+				if _, err := tk.Wait(ctx); err != nil {
+					werr.Store(fmt.Sprintf("w%d-wait%d", w, i), err)
+					return
+				}
+			}
+		}(w)
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+	werr.Range(func(k, v any) bool {
+		t.Errorf("%v: %v", k, v)
+		return false
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got, want := d.Stats().Nodes, start+writers*perWriter; got != want {
+		t.Fatalf("final nodes %d, want %d", got, want)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			q := fmt.Sprintf("//leaf%dx%d", w, i)
+			if res, _, err := d.Query(q); err != nil || len(res) != 1 {
+				t.Fatalf("%s: %d results, err %v", q, len(res), err)
+			}
+		}
+	}
+}
+
+// TestGroupCommitLifecycle pins the enable/disable contract.
+func TestGroupCommitLifecycle(t *testing.T) {
+	d := groupFixture(t)
+	if _, err := d.EnqueueInsert("/book", 0, xmltree.NewElement("x")); err != ErrNoGroupCommit {
+		t.Fatalf("enqueue without group commit: %v", err)
+	}
+	if err := d.EnableGroupCommit(GroupConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.GroupCommit() {
+		t.Fatal("GroupCommit() false while enabled")
+	}
+	if err := d.EnableGroupCommit(GroupConfig{}); err == nil {
+		t.Fatal("double enable accepted")
+	}
+	tk, err := d.EnqueueInsert("/book", 0, xmltree.NewElement("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close flushes the queue: the ticket must be decided, successfully.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tk.Done():
+	default:
+		t.Fatal("Close left a queued op undecided")
+	}
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.EnqueueInsert("/book", 0, xmltree.NewElement("y")); err != ErrNoGroupCommit {
+		t.Fatalf("enqueue after close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -20,8 +20,9 @@ var ErrNotRUID = errors.New("index: ApplyDelta requires a ruid-backed index")
 // ApplyDelta returns the next epoch's index: for every name in relabeled /
 // removed / inserted, a fresh posting list is derived from the previous one
 // (the blocks are decoded, identifiers substituted in place, removed
-// entries dropped, the inserted run — one subtree's elements, contiguous in
-// document order — spliced at its position, and the result re-encoded into
+// entries dropped, the inserted identifiers — one or more subtrees'
+// elements, possibly non-contiguous when a group commit batches several
+// inserts — merged in document order, and the result re-encoded into
 // fresh blocks); every other name shares its *PostingList with the
 // receiver, so the block-granularity cost of an update is bounded by the
 // touched names. rn becomes the new index's numbering and is used for the
@@ -93,15 +94,30 @@ func (ix *NameIndex) ApplyDeltaStats(
 		}
 		list = kept
 		if len(ins) > 0 {
-			// Relabeling within one area preserves relative document order,
-			// so the surviving list is still sorted and the contiguous
-			// inserted run lands at a single position.
-			pos := sort.Search(len(list), func(i int) bool {
-				return rn.CompareOrderID(list[i], ins[0]) > 0
+			// Relabeling within one area preserves relative document order, so
+			// the surviving list is still sorted. The inserted identifiers may
+			// span several subtrees (a group commit splices every insert of
+			// the batch in one pass), so they are sorted and linearly merged
+			// rather than spliced at a single position; a single contiguous
+			// run degenerates to exactly the old one-position splice.
+			ins = append([]core.ID(nil), ins...)
+			sort.Slice(ins, func(i, j int) bool {
+				return rn.CompareOrderID(ins[i], ins[j]) < 0
 			})
-			list = append(list, ins...)
-			copy(list[pos+len(ins):], list[pos:len(list)-len(ins)])
-			copy(list[pos:], ins)
+			merged := make([]core.ID, 0, len(list)+len(ins))
+			i, j := 0, 0
+			for i < len(list) && j < len(ins) {
+				if rn.CompareOrderID(list[i], ins[j]) <= 0 {
+					merged = append(merged, list[i])
+					i++
+				} else {
+					merged = append(merged, ins[j])
+					j++
+				}
+			}
+			merged = append(merged, list[i:]...)
+			merged = append(merged, ins[j:]...)
+			list = merged
 		}
 		if len(list) == 0 {
 			delete(out.ruidByName, name)

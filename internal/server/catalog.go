@@ -84,17 +84,21 @@ func (c *Catalog) Get(name string) (*document.Document, error) {
 	return d, nil
 }
 
-// Drop removes name from the catalog. In-flight queries holding the
-// document's snapshots finish unaffected; the epochs are reclaimed when
-// the last snapshot goes.
+// Drop removes name from the catalog and closes the document — flushing
+// its group-commit queue and closing its WAL, when it has them. In-flight
+// queries holding the document's snapshots finish unaffected; the epochs
+// are reclaimed when the last snapshot goes. The close happens outside the
+// catalog lock (a queue flush may publish epochs).
 func (c *Catalog) Drop(name string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.docs[name]; !ok {
+	d, ok := c.docs[name]
+	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownDocument, name)
 	}
 	delete(c.docs, name)
-	return nil
+	c.mu.Unlock()
+	return d.Close()
 }
 
 // Names lists the open documents, sorted.

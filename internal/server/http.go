@@ -36,6 +36,12 @@ type WriteRequest struct {
 	Parent string `json:"parent"`
 	Pos    int    `json:"pos"`
 	XML    string `json:"xml,omitempty"` // insert only: the subtree fragment
+	// WaitVisible, on a group-commit server, blocks the response until the
+	// mutation's batch has published (visibility ack). The default false
+	// returns at the durability ack — the mutation is in the WAL and will
+	// survive a crash, but a query racing the response may not see it yet.
+	// Without group commit every write is visible at return regardless.
+	WaitVisible bool `json:"waitVisible,omitempty"`
 }
 
 // DocInfo is one catalog entry in listings.
@@ -143,7 +149,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("bad insert body: "+err.Error()))
 		return
 	}
-	st, err := s.Insert(r.Context(), r.PathValue("name"), req.Parent, req.Pos, req.XML)
+	st, err := s.InsertReq(r.Context(), r.PathValue("name"), req)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -157,7 +163,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("bad delete body: "+err.Error()))
 		return
 	}
-	st, err := s.Delete(r.Context(), r.PathValue("name"), req.Parent, req.Pos)
+	st, err := s.DeleteReq(r.Context(), r.PathValue("name"), req)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -25,12 +25,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/budget"
 	"repro/internal/document"
 	"repro/internal/obs"
+	"repro/internal/storage"
 	"repro/internal/xmltree"
 )
 
@@ -63,6 +66,32 @@ type Config struct {
 	// DocumentOptions are the facade options for every document the server
 	// opens; the Observe registry above is attached automatically.
 	DocumentOptions document.Options
+	// GroupCommit, when Enabled, switches every opened document to the
+	// batched write path: mutations enqueue into the document's group
+	// committer (durability-acked at WAL append when a WALDir is set) and
+	// publish in coalesced epochs. WriteRequest.WaitVisible picks the ack
+	// point per request.
+	GroupCommit GroupCommitConfig
+}
+
+// GroupCommitConfig is the server-level switch for the documents' group
+// commit write path.
+type GroupCommitConfig struct {
+	// Enabled turns the batched write path on for every opened document.
+	Enabled bool
+	// MaxBatch / MaxDelay / QueueDepth are document.GroupConfig knobs
+	// (zero = that config's defaults).
+	MaxBatch   int
+	MaxDelay   time.Duration
+	QueueDepth int
+	// WALDir, when non-empty, gives each document a write-ahead log at
+	// WALDir/<name>.wal. Opening a name whose log already exists REPLAYS it
+	// over the fresh base image before serving — the crash-recovery path:
+	// every mutation the log acknowledged is reapplied, in one epoch.
+	WALDir string
+	// SyncPolicy is the WAL fsync discipline: "group" (default), "always",
+	// "none". See storage.ParseSyncPolicy.
+	SyncPolicy string
 }
 
 // Server executes catalog requests. Create with New; start HTTP service
@@ -73,6 +102,10 @@ type Server struct {
 	adm     *admission
 	reg     *obs.Registry
 	sm      *serverMetrics
+
+	// WAL replays performed by Opens (crash-recovery audit trail).
+	recMu      sync.Mutex
+	recoveries []RecoveryInfo
 }
 
 // serverMetrics holds the registry pointers the server records into; nil
@@ -236,29 +269,174 @@ func (s *Server) Query(ctx context.Context, doc string, req QueryRequest) (*Quer
 	return resp, nil
 }
 
-// Open parses src and installs it in the catalog under name.
+// Open parses src and installs it in the catalog under name. With group
+// commit enabled it also wires the document's batched write path — and,
+// when a WALDir is configured, replays any existing log for this name over
+// the fresh base image first (crash recovery).
 func (s *Server) Open(name, src string) (*document.Document, error) {
-	return s.catalog.Open(name, src, s.cfg.DocumentOptions)
+	d, err := s.catalog.Open(name, src, s.cfg.DocumentOptions)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.wireGroupCommit(name, d); err != nil {
+		_ = s.catalog.Drop(name)
+		return nil, err
+	}
+	return d, nil
 }
 
-// Insert admits and executes one structural insert on the named document.
-func (s *Server) Insert(ctx context.Context, doc, parentPath string, pos int, xml string) (document.Stats, error) {
-	return s.write(ctx, doc, func(d *document.Document) error {
-		sub, err := parseFragment(xml)
+// RecoveryInfo describes the WAL replay of one document open.
+type RecoveryInfo struct {
+	Doc     string `json:"doc"`
+	Records int    `json:"records"`   // intact records recovered from the log
+	Applied int    `json:"applied"`   // mutations replayed successfully
+	Skipped int    `json:"skipped"`   // undecodable or unappliable records
+	TornOff int64  `json:"tornBytes"` // bytes truncated from a torn tail
+}
+
+// Recoveries reports the WAL replays performed by Opens so far (the crash-
+// recovery audit trail; empty without a WALDir).
+func (s *Server) Recoveries() []RecoveryInfo {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return append([]RecoveryInfo(nil), s.recoveries...)
+}
+
+func (s *Server) wireGroupCommit(name string, d *document.Document) error {
+	gc := s.cfg.GroupCommit
+	if !gc.Enabled {
+		return nil
+	}
+	cfg := document.GroupConfig{
+		MaxBatch:   gc.MaxBatch,
+		MaxDelay:   gc.MaxDelay,
+		QueueDepth: gc.QueueDepth,
+	}
+	if gc.WALDir != "" {
+		policy, err := storage.ParseSyncPolicy(gc.SyncPolicy)
 		if err != nil {
 			return err
 		}
-		_, err = d.Insert(parentPath, pos, sub)
+		var records [][]byte
+		wal, err := storage.OpenWAL(filepath.Join(gc.WALDir, name+".wal"), policy, func(p []byte) error {
+			records = append(records, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		applied, skipped, err := d.ReplayWAL(records)
+		if err != nil {
+			wal.Close()
+			return fmt.Errorf("server: WAL replay for %q: %w", name, err)
+		}
+		st := wal.Stats()
+		s.recMu.Lock()
+		s.recoveries = append(s.recoveries, RecoveryInfo{
+			Doc: name, Records: len(records), Applied: applied, Skipped: skipped, TornOff: st.Truncated,
+		})
+		s.recMu.Unlock()
+		cfg.WAL = wal
+	}
+	return d.EnableGroupCommit(cfg)
+}
+
+// Close flushes and closes every document in the catalog (draining their
+// group-commit queues and closing their WALs). The server must not be used
+// afterwards.
+func (s *Server) Close() error {
+	var first error
+	for _, name := range s.catalog.Names() {
+		if err := s.catalog.Drop(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Insert admits and executes one structural insert on the named document.
+// Kept for programmatic callers; visibility-ack semantics (the synchronous
+// contract).
+func (s *Server) Insert(ctx context.Context, doc, parentPath string, pos int, xml string) (document.Stats, error) {
+	return s.InsertReq(ctx, doc, WriteRequest{Parent: parentPath, Pos: pos, XML: xml, WaitVisible: true})
+}
+
+// InsertReq executes one structural insert per the request's ack mode. On
+// the group-commit path the mutation enqueues into the document's batch
+// intake (durability-acked at WAL append); WaitVisible additionally blocks
+// until its batch's epoch publishes. Without group commit, writes are
+// always visible at return.
+func (s *Server) InsertReq(ctx context.Context, doc string, req WriteRequest) (document.Stats, error) {
+	d, err := s.catalog.Get(doc)
+	if err != nil {
+		return document.Stats{}, err
+	}
+	if d.GroupCommit() {
+		return s.enqueue(ctx, d, func() (*document.Ticket, error) {
+			sub, err := parseFragment(req.XML)
+			if err != nil {
+				return nil, err
+			}
+			return d.EnqueueInsert(req.Parent, req.Pos, sub)
+		}, req.WaitVisible)
+	}
+	return s.write(ctx, doc, func(d *document.Document) error {
+		sub, err := parseFragment(req.XML)
+		if err != nil {
+			return err
+		}
+		_, err = d.Insert(req.Parent, req.Pos, sub)
 		return err
 	})
 }
 
-// Delete admits and executes one structural delete on the named document.
+// Delete admits and executes one structural delete on the named document
+// with visibility-ack semantics.
 func (s *Server) Delete(ctx context.Context, doc, parentPath string, pos int) (document.Stats, error) {
+	return s.DeleteReq(ctx, doc, WriteRequest{Parent: parentPath, Pos: pos, WaitVisible: true})
+}
+
+// DeleteReq executes one structural delete per the request's ack mode; see
+// InsertReq.
+func (s *Server) DeleteReq(ctx context.Context, doc string, req WriteRequest) (document.Stats, error) {
+	d, err := s.catalog.Get(doc)
+	if err != nil {
+		return document.Stats{}, err
+	}
+	if d.GroupCommit() {
+		return s.enqueue(ctx, d, func() (*document.Ticket, error) {
+			return d.EnqueueDelete(req.Parent, req.Pos)
+		}, req.WaitVisible)
+	}
 	return s.write(ctx, doc, func(d *document.Document) error {
-		_, err := d.Delete(parentPath, pos)
+		_, err := d.Delete(req.Parent, req.Pos)
 		return err
 	})
+}
+
+// enqueue runs one mutation through the group-commit intake. It does not
+// take an admission slot: the bounded intake queue is the write path's own
+// backpressure, and the mutation executes on the commit loop, not here —
+// holding a slot through Wait would let pending writes starve readers.
+func (s *Server) enqueue(ctx context.Context, d *document.Document, op func() (*document.Ticket, error), wait bool) (document.Stats, error) {
+	if to := s.cfg.MaxTimeout; to > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, to)
+		defer cancel()
+	}
+	tk, err := op()
+	if err != nil {
+		return document.Stats{}, err
+	}
+	if s.sm != nil {
+		s.sm.writes.Inc()
+	}
+	if wait {
+		if _, err := tk.Wait(ctx); err != nil {
+			return document.Stats{}, err
+		}
+	}
+	return d.Stats(), nil
 }
 
 func (s *Server) write(ctx context.Context, doc string, op func(*document.Document) error) (document.Stats, error) {
