@@ -61,6 +61,8 @@ var requiredBenches = []string{
 	"epoch_publish/nodes=50000",
 	"write/mutation_ns/batch=1",
 	"write/mutation_ns/batch=64",
+	"obs2/server_query/on",
+	"obs2/group_write/on",
 }
 
 // Row statuses.

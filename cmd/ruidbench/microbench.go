@@ -18,6 +18,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/scheme"
+	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/twig"
 	"repro/internal/workload"
@@ -348,6 +349,78 @@ func obsBenches() []struct {
 			microSink += len(nodes)
 		}
 	})
+
+	// obs2: request-tracing overhead. The off/on pairs run the identical
+	// server query and group-commit write paths; the only difference is a
+	// RequestCtx in the context, so the delta is the full cost of tracing —
+	// trace mint, context plumbing, stage stamps (admission, exec, or the
+	// seven write-pipeline stamps), resource attribution, and the flight-
+	// recorder ring write. The no-trace side exercises the nil-RequestCtx
+	// fast path every instrumented site pays.
+	srv := server.New(server.Config{Observe: obs.NewRegistry()})
+	if _, err := srv.Open("bench", xmltree.Serialize(qDoc)); err != nil {
+		panic(err)
+	}
+	qreq := server.QueryRequest{Query: "//section//title"}
+	add("obs2/server_query/off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := srv.Query(context.Background(), "bench", qreq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			microSink += resp.Count
+		}
+	})
+	add("obs2/server_query/on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rc := obs.NewRequest("query", "bench")
+			resp, err := srv.Query(obs.WithRequest(context.Background(), rc), "bench", qreq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rc.Finish(200)
+			srv.Flight().RecordRequest(rc)
+			microSink += resp.Count
+		}
+	})
+
+	groupWrite := func(traced bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			d, err := document.FromTree(xmltree.Recursive(2, 9), document.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.EnableGroupCommit(document.GroupConfig{}); err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			root := d.Snapshot().Tree().DocumentElement()
+			parent := "/" + root.Name
+			flight := obs.NewFlightRecorder(0, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := context.Background()
+				var rc *obs.RequestCtx
+				if traced {
+					rc = obs.NewRequest("insert", "bench")
+					ctx = obs.WithRequest(ctx, rc)
+				}
+				tk, err := d.EnqueueInsertCtx(ctx, parent, 0, xmltree.NewElement("w"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tk.Wait(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				if traced {
+					rc.Finish(200)
+					flight.RecordRequest(rc)
+				}
+			}
+		}
+	}
+	add("obs2/group_write/off", groupWrite(false))
+	add("obs2/group_write/on", groupWrite(true))
 	return out
 }
 

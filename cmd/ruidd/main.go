@@ -11,6 +11,7 @@
 //	      [-max-postings N] [-max-results N] [-timeout 2s]
 //	      [-wal DIR] [-wal-sync group|always|none]
 //	      [-batch N] [-batch-delay D]
+//	      [-slow-ms N] [-flight-records N]
 //	      [-preload file.xml ...]
 //
 // Preloaded files are opened under their basename (sans extension) before
@@ -22,6 +23,12 @@
 // write response is a durability acknowledgment (per -wal-sync), and
 // reopening a document after a crash replays every acknowledged mutation
 // from its log before serving.
+//
+// Every request is traced: /metrics serves Prometheus text exposition,
+// /v1/debug/requests the flight recorder's recent-request ring, and
+// /v1/debug/slow the requests that overran -slow-ms with their full stage
+// breakdowns. SIGQUIT dumps both rings to stderr without stopping the
+// server.
 package main
 
 import (
@@ -51,6 +58,8 @@ func main() {
 	walSync := flag.String("wal-sync", "group", "WAL fsync policy: group, always or none")
 	batch := flag.Int("batch", 0, "group-commit batch size; >0 enables the batched write path without a WAL (0 with -wal = default 64)")
 	batchDelay := flag.Duration("batch-delay", 0, "group-commit batch linger (0 = default 500µs)")
+	slowMS := flag.Int64("slow-ms", 0, "slow-request threshold in milliseconds for /v1/debug/slow (0 = default 250)")
+	flightRecords := flag.Int("flight-records", 0, "flight-recorder ring size (0 = default 256)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ruidd [flags] [-preload file.xml ...]\n")
 		flag.PrintDefaults()
@@ -79,6 +88,8 @@ func main() {
 			WALDir:     *walDir,
 			SyncPolicy: *walSync,
 		},
+		FlightRecords: *flightRecords,
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
 	})
 	for _, path := range preload {
 		src, err := os.ReadFile(path)
@@ -106,6 +117,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "ruidd: serving on %s\n", run.Addr())
+
+	// SIGQUIT dumps the flight recorder (slow log + recent ring) to stderr
+	// and keeps serving — the field-debugging snapshot for a live server.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintln(os.Stderr, "ruidd: SIGQUIT — flight recorder dump")
+			s.Flight().Dump(os.Stderr)
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

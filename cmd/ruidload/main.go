@@ -25,7 +25,10 @@
 // interference from a loaded write path (EXPERIMENTS.md E16). With -batch
 // or -wal the -self server runs the group-commit write path, so writes
 // coalesce into batched epoch publications; -wait-visible makes each write
-// request ack at publication instead of at durability.
+// request ack at publication instead of at durability. Traced write
+// responses carry their pipeline stage breakdown, and each round's -json
+// row aggregates per-stage offset percentiles (enqueue, wal_append,
+// fsync_done, dequeue, merged, published, visible) under "stages".
 package main
 
 import (
@@ -62,6 +65,19 @@ type round struct {
 	P50US       int64   `json:"p50_us"`
 	P95US       int64   `json:"p95_us"`
 	P99US       int64   `json:"p99_us"`
+	// Stages aggregates the write-pipeline stage offsets reported by traced
+	// insert responses: for each stage name, the percentile of its offset
+	// from request start across the round's writes. Present only when the
+	// round issued writes against a tracing server.
+	Stages map[string]stagePct `json:"stages,omitempty"`
+}
+
+// stagePct is one stage's offset-from-start distribution over a round.
+type stagePct struct {
+	N     int   `json:"n"`
+	P50US int64 `json:"p50_us"`
+	P95US int64 `json:"p95_us"`
+	P99US int64 `json:"p99_us"`
 }
 
 func main() {
@@ -188,6 +204,7 @@ func run(base, doc string, qbody []byte, offered int, d time.Duration, writeFrac
 		status  int
 		elapsed time.Duration
 		failed  bool
+		stages  []obs.StageStamp // write responses only: pipeline breakdown
 	}
 	interval := time.Second / time.Duration(offered)
 	total := int(d / interval)
@@ -203,7 +220,9 @@ func run(base, doc string, qbody []byte, offered int, d time.Duration, writeFrac
 		<-tick.C
 		url := base + "/v1/docs/" + doc + "/query"
 		body := qbody
+		isWrite := false
 		if writeFrac > 0 && rng.Float64() < writeFrac {
+			isWrite = true
 			url = base + "/v1/docs/" + doc + "/insert"
 			writes++
 			wr, _ := json.Marshal(server.WriteRequest{
@@ -214,7 +233,7 @@ func run(base, doc string, qbody []byte, offered int, d time.Duration, writeFrac
 			body = wr
 		}
 		wg.Add(1)
-		go func(i int, url string, body []byte) {
+		go func(i int, url string, body []byte, isWrite bool) {
 			defer wg.Done()
 			t0 := time.Now()
 			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
@@ -222,10 +241,20 @@ func run(base, doc string, qbody []byte, offered int, d time.Duration, writeFrac
 				results[i] = outcome{failed: true, elapsed: time.Since(t0)}
 				return
 			}
+			o := outcome{status: resp.StatusCode}
+			if isWrite && resp.StatusCode == http.StatusOK {
+				// Write responses carry the trace's stage breakdown; keep it
+				// for the per-stage percentile aggregation.
+				var wr server.WriteResponse
+				if json.NewDecoder(resp.Body).Decode(&wr) == nil {
+					o.stages = wr.Stages
+				}
+			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			results[i] = outcome{status: resp.StatusCode, elapsed: time.Since(t0)}
-		}(i, url, body)
+			o.elapsed = time.Since(t0)
+			results[i] = o
+		}(i, url, body, isWrite)
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -254,7 +283,39 @@ func run(base, doc string, qbody []byte, offered int, d time.Duration, writeFrac
 	r.P50US = pct(lat, 50).Microseconds()
 	r.P95US = pct(lat, 95).Microseconds()
 	r.P99US = pct(lat, 99).Microseconds()
+
+	// Per-stage latency percentiles over the round's traced writes.
+	byStage := map[string][]int64{}
+	for _, o := range results {
+		for _, st := range o.stages {
+			byStage[st.Name] = append(byStage[st.Name], st.OffsetUS)
+		}
+	}
+	if len(byStage) > 0 {
+		r.Stages = make(map[string]stagePct, len(byStage))
+		for name, offs := range byStage {
+			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+			r.Stages[name] = stagePct{
+				N:     len(offs),
+				P50US: pctI64(offs, 50),
+				P95US: pctI64(offs, 95),
+				P99US: pctI64(offs, 99),
+			}
+		}
+	}
 	return r
+}
+
+// pctI64 picks the p-th percentile of sorted int64 offsets (0 when empty).
+func pctI64(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // pct picks the p-th percentile of sorted latencies (0 when empty).

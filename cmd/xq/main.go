@@ -7,7 +7,7 @@
 //	xq [-nav ruid|uid|pointer|planner] [-area N] [-serialize]
 //	   [-explain-analyze] [-stats] [-parallel auto|serial|forced]
 //	   [-workers N] [-serve addr] [-pool-pages N] [-cold] [-writes N]
-//	   'xpath' [file.xml]
+//	   [-wait-visible] 'xpath' [file.xml]
 //
 // With no file argument the document is read from standard input. The ruid
 // and planner modes go through the internal/document facade, the same stack
@@ -24,6 +24,10 @@
 //     the query (facade modes), so -stats and -serve expose the write.*
 //     metrics — queue depth, batch-size histogram, publish counters — from
 //     a single command.
+//   - -wait-visible traces each -writes insert end to end and prints the
+//     write-pipeline stage breakdown (enqueue → dequeue → merged →
+//     published → visible, plus the WAL stamps when one is attached) to
+//     standard error after the batch lands.
 //   - -serve addr keeps the process alive after the query, exposing
 //     /metrics, /metrics.json, /debug/vars and /debug/pprof on addr.
 //
@@ -69,6 +73,7 @@ type config struct {
 	poolPages int    // -pool-pages: buffer-pool frames (0 = resident)
 	cold      bool   // -cold: reopen from a bundle before querying
 	writes    int    // -writes: group-commit inserts to drive before the query
+	waitVis   bool   // -wait-visible: trace writes and print stage breakdowns
 }
 
 func main() {
@@ -85,6 +90,7 @@ func main() {
 	flag.IntVar(&cfg.poolPages, "pool-pages", 0, "back postings and node payloads with an N-frame buffer pool (ruid scheme only)")
 	flag.BoolVar(&cfg.cold, "cold", false, "round-trip through a saved bundle and reopen cold before querying")
 	flag.IntVar(&cfg.writes, "writes", 0, "drive N group-commit inserts before the query (facade modes; pairs with -stats)")
+	flag.BoolVar(&cfg.waitVis, "wait-visible", false, "trace each -writes insert and print its write-pipeline stage breakdown")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xq [flags] 'xpath' [file.xml]\n")
 		flag.PrintDefaults()
@@ -184,16 +190,35 @@ func run(cfg config, query, path string, out io.Writer) error {
 		}
 		parent := "/" + root.Name
 		tickets := make([]*document.Ticket, 0, cfg.writes)
+		traces := make([]*obs.RequestCtx, 0, cfg.writes)
 		for i := 0; i < cfg.writes; i++ {
-			tk, err := d.EnqueueInsert(parent, 0, xmltree.NewElement("xqwrite"))
+			// With -wait-visible each write gets its own trace: the commit
+			// loop stamps the pipeline stages onto it as the op moves, and
+			// the breakdown prints below once the ticket resolves.
+			ctx := context.Background()
+			var rc *obs.RequestCtx
+			if cfg.waitVis {
+				rc = obs.NewRequest("insert", "")
+				ctx = obs.WithRequest(ctx, rc)
+			}
+			tk, err := d.EnqueueInsertCtx(ctx, parent, 0, xmltree.NewElement("xqwrite"))
 			if err != nil {
 				return fmt.Errorf("-writes: %w", err)
 			}
 			tickets = append(tickets, tk)
+			traces = append(traces, rc)
 		}
-		for _, tk := range tickets {
+		for i, tk := range tickets {
 			if _, err := tk.Wait(context.Background()); err != nil {
 				return fmt.Errorf("-writes: %w", err)
+			}
+			if rc := traces[i]; rc != nil {
+				rc.Finish(0)
+				fmt.Fprintf(os.Stderr, "write %d (trace %d) %dus:", i, rc.ID(), rc.Duration().Microseconds())
+				for _, st := range rc.Stages() {
+					fmt.Fprintf(os.Stderr, "  %s+%dus", st.Name, st.OffsetUS)
+				}
+				fmt.Fprintln(os.Stderr)
 			}
 		}
 		return nil

@@ -89,6 +89,12 @@ type pendingOp struct {
 	child  *xmltree.Node // insert only
 	seq    int64         // WAL sequence number; 0 without a WAL
 
+	// rc is the enqueuing request's trace, stamped with pipeline stages as
+	// the op crosses goroutines (enqueue→wal_append→fsync_done on the
+	// writer, dequeue→merged→published→visible on the commit loop). Nil
+	// for untraced writers and WAL replay; every Stamp no-ops then.
+	rc *obs.RequestCtx
+
 	stats scheme.UpdateStats
 	err   error
 	done  chan struct{}
@@ -228,13 +234,30 @@ func (d *Document) Close() error { return d.DisableGroupCommit() }
 // error return the mutation was not queued, except for ErrDocumentClosed
 // and WAL-sync failures, where the record may already be durable.
 func (d *Document) EnqueueInsert(parentPath string, pos int, child *xmltree.Node) (*Ticket, error) {
-	return d.enqueue(&pendingOp{insert: true, parent: parentPath, pos: pos, child: child, done: make(chan struct{})})
+	return d.EnqueueInsertCtx(context.Background(), parentPath, pos, child)
+}
+
+// EnqueueInsertCtx is EnqueueInsert carrying the caller's context: a
+// request trace in ctx (obs.WithRequest) rides the ticket through the
+// asynchronous pipeline and collects the per-stage write breakdown. The
+// context is NOT a cancellation handle here — enqueue-side blocking
+// (backpressure, the durability wait) is bounded by the write path itself.
+func (d *Document) EnqueueInsertCtx(ctx context.Context, parentPath string, pos int, child *xmltree.Node) (*Ticket, error) {
+	return d.enqueue(&pendingOp{insert: true, parent: parentPath, pos: pos, child: child,
+		rc: obs.RequestFrom(ctx), done: make(chan struct{})})
 }
 
 // EnqueueDelete queues a Delete for the next batch; see EnqueueInsert for
 // the durability/visibility split.
 func (d *Document) EnqueueDelete(parentPath string, pos int) (*Ticket, error) {
-	return d.enqueue(&pendingOp{parent: parentPath, pos: pos, done: make(chan struct{})})
+	return d.EnqueueDeleteCtx(context.Background(), parentPath, pos)
+}
+
+// EnqueueDeleteCtx is EnqueueDelete carrying the caller's context; see
+// EnqueueInsertCtx.
+func (d *Document) EnqueueDeleteCtx(ctx context.Context, parentPath string, pos int) (*Ticket, error) {
+	return d.enqueue(&pendingOp{parent: parentPath, pos: pos,
+		rc: obs.RequestFrom(ctx), done: make(chan struct{})})
 }
 
 func (d *Document) enqueue(op *pendingOp) (*Ticket, error) {
@@ -242,6 +265,7 @@ func (d *Document) enqueue(op *pendingOp) (*Ticket, error) {
 	if gc == nil {
 		return nil, ErrNoGroupCommit
 	}
+	op.rc.Stamp(obs.StageEnqueue)
 	var rec []byte
 	if gc.cfg.WAL != nil {
 		xml := ""
@@ -258,6 +282,7 @@ func (d *Document) enqueue(op *pendingOp) (*Ticket, error) {
 			return nil, err
 		}
 		op.seq = seq
+		op.rc.Stamp(obs.StageWALAppend)
 	}
 	// The queue send happens under emu, right after the WAL append, so
 	// intake order equals log order. The send may block on a full queue
@@ -278,6 +303,7 @@ func (d *Document) enqueue(op *pendingOp) (*Ticket, error) {
 		if err := gc.cfg.WAL.WaitDurable(op.seq); err != nil {
 			return &Ticket{op: op}, err
 		}
+		op.rc.Stamp(obs.StageFsyncDone)
 	}
 	return &Ticket{op: op}, nil
 }
@@ -304,8 +330,10 @@ func (gc *groupCommitter) loop() {
 }
 
 // fill collects up to MaxBatch ops starting from first, lingering up to
-// MaxDelay for followers when linger is set.
+// MaxDelay for followers when linger is set. Every op taken is stamped
+// "dequeue" here — the one chokepoint all three take sites share.
 func (gc *groupCommitter) fill(first *pendingOp, linger bool) []*pendingOp {
+	first.rc.Stamp(obs.StageDequeue)
 	batch := append(make([]*pendingOp, 0, gc.cfg.MaxBatch), first)
 	if linger && gc.cfg.MaxDelay > 0 {
 		timer := time.NewTimer(gc.cfg.MaxDelay)
@@ -313,6 +341,7 @@ func (gc *groupCommitter) fill(first *pendingOp, linger bool) []*pendingOp {
 		for len(batch) < gc.cfg.MaxBatch {
 			select {
 			case op := <-gc.ch:
+				op.rc.Stamp(obs.StageDequeue)
 				batch = append(batch, op)
 			case <-timer.C:
 				return batch
@@ -328,6 +357,7 @@ drain:
 	for len(batch) < gc.cfg.MaxBatch {
 		select {
 		case op := <-gc.ch:
+			op.rc.Stamp(obs.StageDequeue)
 			batch = append(batch, op)
 		default:
 			return batch
@@ -368,6 +398,11 @@ func (gc *groupCommitter) commit(batch []*pendingOp) {
 		gc.gm.failed.Add(uint64(len(batch) - applied))
 	}
 	for _, op := range batch {
+		if op.err == nil {
+			// The epoch is published and Wait is about to be released —
+			// this is the moment the mutation became readable.
+			op.rc.Stamp(obs.StageVisible)
+		}
 		close(op.done)
 	}
 }
@@ -448,6 +483,7 @@ func (d *Document) applyBatchLocked(batch []*pendingOp) int {
 		// ONE guide copy across the whole run — the per-mutation WithUpdate
 		// clone is what group commit amortizes away.
 		foldGuideUpdate(fold, delta)
+		op.rc.Stamp(obs.StageMerged)
 		applied = append(applied, op)
 	}
 	if len(deltas) == 0 {
@@ -462,6 +498,9 @@ func (d *Document) applyBatchLocked(batch []*pendingOp) int {
 			op.err = err
 		}
 		return 0
+	}
+	for _, op := range applied {
+		op.rc.Stamp(obs.StagePublished)
 	}
 	return len(applied)
 }
@@ -546,6 +585,7 @@ func (d *Document) applyBatchGenericLocked(batch []*pendingOp) int {
 			depths -= dd
 			memo = make(map[string]*xmltree.Node, len(batch))
 		}
+		op.rc.Stamp(obs.StageMerged)
 		applied = append(applied, op)
 	}
 	if len(applied) == 0 {
@@ -556,6 +596,9 @@ func (d *Document) applyBatchGenericLocked(batch []*pendingOp) int {
 			op.err = err
 		}
 		return 0
+	}
+	for _, op := range applied {
+		op.rc.Stamp(obs.StagePublished)
 	}
 	return len(applied)
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/xmltree"
 )
@@ -401,5 +402,68 @@ func TestGroupCommitLifecycle(t *testing.T) {
 	}
 	if err := d.Close(); err != nil {
 		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestGroupCommitStageStamps pins the write-pipeline tracing contract: a
+// traced EnqueueInsertCtx over a WAL must stamp all seven pipeline stages
+// onto the request, and the reported timeline must be monotonically
+// non-decreasing even though the stamps come from three goroutines (the
+// writer, the fsync leader, the commit loop).
+func TestGroupCommitStageStamps(t *testing.T) {
+	wal, err := storage.CreateWAL(filepath.Join(t.TempDir(), "doc.wal"), storage.SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := groupFixture(t)
+	if err := d.EnableGroupCommit(GroupConfig{MaxBatch: 4, MaxDelay: time.Millisecond, WAL: wal}); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	rc := obs.NewRequest("insert", "fixture")
+	ctx := obs.WithRequest(context.Background(), rc)
+	tk, err := d.EnqueueInsertCtx(ctx, "/book/section", 0, xmltree.NewElement("traced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := tk.Wait(wctx); err != nil {
+		t.Fatal(err)
+	}
+	rc.Finish(200)
+
+	stages := rc.Summary().Stages
+	want := []string{
+		obs.StageEnqueue, obs.StageWALAppend, obs.StageFsyncDone,
+		obs.StageDequeue, obs.StageMerged, obs.StagePublished, obs.StageVisible,
+	}
+	got := make(map[string]bool, len(stages))
+	for _, s := range stages {
+		got[s.Name] = true
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("stage %q not stamped (got %v)", name, stages)
+		}
+	}
+	if len(stages) != len(want) {
+		t.Errorf("stamped %d stages, want %d: %v", len(stages), len(want), stages)
+	}
+	for i := 1; i < len(stages); i++ {
+		if stages[i].OffsetUS < stages[i-1].OffsetUS {
+			t.Fatalf("timeline not monotone: %v", stages)
+		}
+	}
+
+	// An untraced enqueue (plain context) must not panic and must not
+	// leak stamps anywhere.
+	tk2, err := d.EnqueueInsert("/book/section", 0, xmltree.NewElement("untraced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk2.Wait(wctx); err != nil {
+		t.Fatal(err)
 	}
 }

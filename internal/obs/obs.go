@@ -143,29 +143,73 @@ func (h *Histogram) Sum() uint64 {
 	return h.sum.Load()
 }
 
-// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
-// largest value of the bucket the quantile falls in. With no observations
-// it returns 0.
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) with within-bucket linear
+// interpolation: the continuous rank q·(count−1) is located in its bucket
+// and mapped linearly across the bucket's [lower, upper] value range,
+// assuming observations spread uniformly inside the bucket.
+//
+// Error bound: the estimate is always inside the holding bucket, so it is
+// off by at most one bucket width — under the power-of-two layout, a
+// relative error below 2x in either direction, and typically far less. The
+// previous behavior (reporting the bucket's upper bound) was biased: it
+// systematically overstated tail quantiles by up to 2x near bucket edges;
+// interpolation is unbiased for in-bucket-uniform data. With no
+// observations it returns 0.
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h == nil {
 		return 0
 	}
-	total := h.Count()
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Load a consistent-enough snapshot once; concurrent Observe may land
+	// between loads, which shifts the estimate by at most the racing
+	// observations — acceptable for a monitoring read.
+	var counts [HistBuckets]uint64
+	var total uint64
+	for b := range h.counts {
+		counts[b] = h.counts[b].Load()
+		total += counts[b]
+	}
 	if total == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
+	rank := q * float64(total-1) // continuous rank in [0, total-1]
 	var seen uint64
 	for b := 0; b < HistBuckets; b++ {
-		seen += h.counts[b].Load()
-		if seen > rank {
-			return bucketUpper(b)
+		c := counts[b]
+		if c == 0 {
+			continue
 		}
+		if rank < float64(seen+c) {
+			lo := bucketLower(b)
+			hi := bucketUpper(b)
+			// Treat the c observations as sitting at the midpoints of c
+			// equal sub-intervals of [lo, hi]; interpolate the rank's
+			// position among them.
+			pos := (rank - float64(seen) + 0.5) / float64(c)
+			if pos < 0 {
+				pos = 0
+			}
+			if pos > 1 {
+				pos = 1
+			}
+			return lo + uint64(float64(hi-lo)*pos)
+		}
+		seen += c
 	}
 	return bucketUpper(HistBuckets - 1)
+}
+
+// bucketLower is the smallest value bucket b holds.
+func bucketLower(b int) uint64 {
+	if b <= 0 {
+		return 0
+	}
+	return 1 << uint(b-1)
 }
 
 // bucketUpper is the largest value bucket b holds (the last bucket is
@@ -215,6 +259,70 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	funcs    map[string]func() int64
+
+	// sorted caches the name-ordered entry list (with pre-rendered
+	// Prometheus name strings) across scrapes. Registration is rare —
+	// metrics resolve once at construction — while a scraper polls every
+	// second; rebuilding and re-sorting the full map per poll allocated on
+	// every scrape for no reason. The cache is invalidated (dirty=true) by
+	// any registration and rebuilt lazily on the next scrape.
+	sorted []regEntry
+	dirty  bool
+}
+
+// metric kinds for regEntry.
+const (
+	kindCounter = iota
+	kindGauge
+	kindFunc
+	kindHist
+)
+
+// regEntry is one registered metric in the scrape-ordered cache. The prom*
+// fields are rendered once at cache build so the /metrics hot path appends
+// digits into a pooled buffer and nothing else.
+type regEntry struct {
+	name string
+	kind int
+
+	c *Counter
+	g *Gauge
+	f func() int64
+	h *Histogram
+
+	promFamily string // sanitized family name, e.g. ruid_exec_ops
+	promName   string // family plus rendered label set, if any
+	promLabels string // rendered label pairs without braces ("" if none)
+}
+
+// entries returns the sorted entry cache, rebuilding it if a registration
+// invalidated it. Callers must hold r.mu; the returned slice must not be
+// mutated and is only valid while the lock is held (a concurrent rebuild
+// replaces it, but never mutates a published slice).
+func (r *Registry) entries() []regEntry {
+	if !r.dirty && r.sorted != nil {
+		return r.sorted
+	}
+	es := make([]regEntry, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
+	for name, c := range r.counters {
+		es = append(es, regEntry{name: name, kind: kindCounter, c: c})
+	}
+	for name, g := range r.gauges {
+		es = append(es, regEntry{name: name, kind: kindGauge, g: g})
+	}
+	for name, f := range r.funcs {
+		es = append(es, regEntry{name: name, kind: kindFunc, f: f})
+	}
+	for name, h := range r.hists {
+		es = append(es, regEntry{name: name, kind: kindHist, h: h})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	for i := range es {
+		es[i].promFamily, es[i].promLabels, es[i].promName = promRender(es[i].name)
+	}
+	r.sorted = es
+	r.dirty = false
+	return es
 }
 
 // NewRegistry returns an empty registry.
@@ -239,6 +347,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if c == nil {
 		c = &Counter{}
 		r.counters[name] = c
+		r.dirty = true
 	}
 	return c
 }
@@ -255,6 +364,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g == nil {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.dirty = true
 	}
 	return g
 }
@@ -271,6 +381,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if h == nil {
 		h = &Histogram{}
 		r.hists[name] = h
+		r.dirty = true
 	}
 	return h
 }
@@ -287,6 +398,7 @@ func (r *Registry) RegisterFunc(name string, f func() int64) {
 	defer r.mu.Unlock()
 	if _, ok := r.funcs[name]; !ok {
 		r.funcs[name] = f
+		r.dirty = true
 	}
 }
 
@@ -300,46 +412,42 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for name, c := range r.counters {
-		out[name] = c.Value()
-	}
-	for name, g := range r.gauges {
-		out[name] = g.Value()
-	}
-	for name, f := range r.funcs {
-		out[name] = f()
-	}
-	for name, h := range r.hists {
-		out[name] = h.Summary()
+	for _, e := range r.entries() {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = e.c.Value()
+		case kindGauge:
+			out[e.name] = e.g.Value()
+		case kindFunc:
+			out[e.name] = e.f()
+		case kindHist:
+			out[e.name] = e.h.Summary()
+		}
 	}
 	return out
 }
 
 // WriteText renders every metric as one sorted "name value" line — the
-// xq -stats dump. Histograms render count, sum and quantile bounds.
+// xq -stats dump. Histograms render count, sum and quantile estimates.
+// Iterates the cached sorted entry list: no per-scrape sort.
 func (r *Registry) WriteText(w io.Writer) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
-	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
-	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
-	}
-	for name, f := range r.funcs {
-		lines = append(lines, fmt.Sprintf("%s %d", name, f()))
-	}
-	for name, h := range r.hists {
-		s := h.Summary()
-		lines = append(lines, fmt.Sprintf("%s count=%d sum=%d p50≤%d p90≤%d p99≤%d",
-			name, s.Count, s.Sum, s.P50, s.P90, s.P99))
-	}
-	r.mu.Unlock()
-	sort.Strings(lines)
-	for _, l := range lines {
-		fmt.Fprintln(w, l)
+	defer r.mu.Unlock()
+	for _, e := range r.entries() {
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value())
+		case kindFunc:
+			fmt.Fprintf(w, "%s %d\n", e.name, e.f())
+		case kindHist:
+			s := e.h.Summary()
+			fmt.Fprintf(w, "%s count=%d sum=%d p50=%d p90=%d p99=%d\n",
+				e.name, s.Count, s.Sum, s.P50, s.P90, s.P99)
+		}
 	}
 }

@@ -107,7 +107,11 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	}
 }
 
-// TestHistogramQuantiles sanity-checks the power-of-two bounds.
+// TestHistogramQuantiles sanity-checks interpolation against a known
+// uniform distribution: with 1..1024 observed once each, the true
+// q-quantile is ≈ q·1024, and the interpolated estimate must land within
+// one bucket width of it — not at the holding bucket's upper bound, which
+// is the bias the interpolation replaced.
 func TestHistogramQuantiles(t *testing.T) {
 	var h Histogram
 	for v := int64(1); v <= 1024; v++ {
@@ -117,15 +121,54 @@ func TestHistogramQuantiles(t *testing.T) {
 		t.Fatalf("count = %d", h.Count())
 	}
 	p50 := h.Quantile(0.5)
-	if p50 < 511 || p50 > 1023 {
-		t.Errorf("p50 = %d, want within [511, 1023]", p50)
+	if p50 < 480 || p50 > 560 {
+		t.Errorf("p50 = %d, want ≈ 512 within [480, 560]", p50)
 	}
+	// True p99 is ≈ 1013; the old upper-bound report said 1023 for any
+	// rank in bucket 10 and would have said 2047 had the tail crossed into
+	// bucket 11. Interpolation must stay below the bucket bound.
 	p99 := h.Quantile(0.99)
-	if p99 < 1023 {
-		t.Errorf("p99 = %d, want ≥ 1023", p99)
+	if p99 < 950 || p99 > 1023 {
+		t.Errorf("p99 = %d, want ≈ 1013 within [950, 1023]", p99)
 	}
 	if h.Quantile(1) < h.Quantile(0) {
 		t.Errorf("quantiles not monotone")
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins the boundary behavior of the
+// interpolated quantile: a single observation, extreme q, and out-of-range
+// q values.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Single observation: every quantile is inside that observation's
+	// bucket, and q=0 equals q=1 (there is only one order statistic).
+	var h Histogram
+	h.Observe(100) // bucket 7: [64, 127]
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 64 || got > 127 {
+			t.Errorf("single-obs Quantile(%v) = %d, want within bucket [64, 127]", q, got)
+		}
+	}
+	if h.Quantile(0) != h.Quantile(1) {
+		t.Errorf("single-obs q=0 (%d) != q=1 (%d)", h.Quantile(0), h.Quantile(1))
+	}
+
+	// q=0 must sit in the minimum's bucket and q=1 in the maximum's.
+	var h2 Histogram
+	h2.Observe(1)    // bucket 1: [1, 1]
+	h2.Observe(1000) // bucket 10: [512, 1023]
+	if got := h2.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want 1 (the minimum's bucket is exact)", got)
+	}
+	if got := h2.Quantile(1); got < 512 || got > 1023 {
+		t.Errorf("Quantile(1) = %d, want within the maximum's bucket [512, 1023]", got)
+	}
+
+	// Out-of-range q clamps rather than panicking or extrapolating.
+	if h2.Quantile(-1) != h2.Quantile(0) || h2.Quantile(2) != h2.Quantile(1) {
+		t.Errorf("out-of-range q not clamped: q=-1→%d q=0→%d q=2→%d q=1→%d",
+			h2.Quantile(-1), h2.Quantile(0), h2.Quantile(2), h2.Quantile(1))
 	}
 }
 

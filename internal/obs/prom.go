@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Prometheus text exposition (version 0.0.4) for a Registry, served at
+// /metrics. Registry names map to Prometheus families mechanically:
+//
+//   - every name gains the "ruid_" prefix and has '.' and '-' folded to '_'
+//     ("exec.op_ns" → "ruid_exec_op_ns");
+//   - a name may carry an encoded label set after a '|' separator —
+//     "server.http_requests|endpoint=query,status=200" becomes the family
+//     ruid_server_http_requests with labels {endpoint="query",status="200"}.
+//     This keeps the registry itself label-unaware (it stays a flat
+//     name→metric map with lock-free recording) while letting callers mint
+//     real per-label series; MetricName builds the encoded form.
+//
+// Counters and gauges emit one sample; funcs emit as gauges; histograms
+// emit the full cumulative _bucket/_sum/_count family with power-of-two
+// "le" bounds taken from the bucket layout. The hot path appends digits
+// into a pooled buffer against the pre-rendered name strings cached in the
+// registry's sorted entry list, so a steady-state scrape performs a small
+// constant number of allocations regardless of metric count.
+
+// MetricName encodes a family plus label pairs into the registry's flat
+// namespace: MetricName("server.http_requests", "endpoint", "query",
+// "status", "200") → "server.http_requests|endpoint=query,status=200".
+// Pairs must alternate key, value; keys should be stable across calls so
+// each label combination resolves to one registry entry.
+func MetricName(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	var b strings.Builder
+	b.Grow(len(family) + 16*len(kv))
+	b.WriteString(family)
+	sep := byte('|')
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(sep)
+		sep = ','
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	return b.String()
+}
+
+// promRender converts a registry name (possibly carrying a '|'-encoded
+// label set) into its Prometheus family, rendered label pairs (no braces),
+// and full sample name. Called once per entry at cache build, never on the
+// scrape path.
+func promRender(name string) (family, labels, full string) {
+	base := name
+	labelPart := ""
+	if i := strings.IndexByte(name, '|'); i >= 0 {
+		base, labelPart = name[:i], name[i+1:]
+	}
+	family = "ruid_" + promSanitize(base)
+	if labelPart != "" {
+		var b strings.Builder
+		for _, pair := range strings.Split(labelPart, ",") {
+			k, v, _ := strings.Cut(pair, "=")
+			if b.Len() > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(promSanitize(k))
+			b.WriteString(`="`)
+			b.WriteString(promEscape(v))
+			b.WriteByte('"')
+		}
+		labels = b.String()
+	}
+	if labels == "" {
+		full = family
+	} else {
+		full = family + "{" + labels + "}"
+	}
+	return family, labels, full
+}
+
+// promSanitize folds a registry name component into the Prometheus
+// identifier alphabet [a-zA-Z0-9_].
+func promSanitize(s string) string {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			if b != nil {
+				b = append(b, c)
+			}
+			continue
+		}
+		if b == nil {
+			b = append(make([]byte, 0, len(s)), s[:i]...)
+		}
+		b = append(b, '_')
+	}
+	if b == nil {
+		return s
+	}
+	return string(b)
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// promBufs recycles scrape buffers so a periodic scraper does not allocate
+// a fresh page-sized buffer per poll.
+var promBufs = sync.Pool{New: func() any { b := make([]byte, 0, 8192); return &b }}
+
+// promLE holds the rendered "le" bound for every bucket — the bucket layout
+// is global, so these strings are computed once, not per scrape.
+var promLE = func() [HistBuckets]string {
+	var le [HistBuckets]string
+	for b := range le {
+		le[b] = strconv.FormatUint(bucketUpper(b), 10)
+	}
+	return le
+}()
+
+// WriteProm renders the registry in Prometheus text exposition format.
+// A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) {
+	if r == nil {
+		return
+	}
+	bp := promBufs.Get().(*[]byte)
+	buf := (*bp)[:0]
+
+	r.mu.Lock()
+	lastFamily := ""
+	for _, e := range r.entries() {
+		if e.promFamily != lastFamily {
+			buf = append(buf, "# TYPE "...)
+			buf = append(buf, e.promFamily...)
+			switch e.kind {
+			case kindCounter:
+				buf = append(buf, " counter\n"...)
+			case kindHist:
+				buf = append(buf, " histogram\n"...)
+			default:
+				buf = append(buf, " gauge\n"...)
+			}
+			lastFamily = e.promFamily
+		}
+		switch e.kind {
+		case kindCounter:
+			buf = append(buf, e.promName...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, e.c.Value(), 10)
+			buf = append(buf, '\n')
+		case kindGauge:
+			buf = append(buf, e.promName...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, e.g.Value(), 10)
+			buf = append(buf, '\n')
+		case kindFunc:
+			buf = append(buf, e.promName...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, e.f(), 10)
+			buf = append(buf, '\n')
+		case kindHist:
+			buf = appendPromHistogram(buf, &e)
+		}
+	}
+	r.mu.Unlock()
+
+	_, _ = w.Write(buf)
+	*bp = buf[:0]
+	promBufs.Put(bp)
+}
+
+// appendPromHistogram emits the cumulative _bucket series plus _sum and
+// _count for one histogram entry. Trailing empty buckets are elided (the
+// mandatory +Inf bucket always closes the series), which keeps a 48-bucket
+// layout from printing 48 lines for a histogram that only ever saw
+// microseconds.
+func appendPromHistogram(buf []byte, e *regEntry) []byte {
+	var counts [HistBuckets]uint64
+	var total uint64
+	top := -1
+	for b := 0; b < HistBuckets; b++ {
+		counts[b] = e.h.counts[b].Load()
+		total += counts[b]
+		if counts[b] != 0 {
+			top = b
+		}
+	}
+	if top == HistBuckets-1 {
+		top = HistBuckets - 2 // the overflow bucket is the +Inf line itself
+	}
+	var cum uint64
+	for b := 0; b <= top; b++ {
+		cum += counts[b]
+		buf = e.appendHistSample(buf, "_bucket", promLE[b], cum)
+	}
+	buf = e.appendHistSample(buf, "_bucket", "+Inf", total)
+	buf = e.appendHistSample(buf, "_sum", "", e.h.Sum())
+	buf = e.appendHistSample(buf, "_count", "", total)
+	return buf
+}
+
+// appendHistSample writes one histogram sample line: family+suffix, the
+// entry's labels plus an optional le bound, and the value.
+func (e *regEntry) appendHistSample(buf []byte, suffix, le string, v uint64) []byte {
+	buf = append(buf, e.promFamily...)
+	buf = append(buf, suffix...)
+	if e.promLabels != "" || le != "" {
+		buf = append(buf, '{')
+		if e.promLabels != "" {
+			buf = append(buf, e.promLabels...)
+			if le != "" {
+				buf = append(buf, ',')
+			}
+		}
+		if le != "" {
+			buf = append(buf, `le="`...)
+			buf = append(buf, le...)
+			buf = append(buf, '"')
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, v, 10)
+	buf = append(buf, '\n')
+	return buf
+}

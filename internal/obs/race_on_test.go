@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in; the alloc
+// regression tests skip under it because sync.Pool deliberately drops
+// entries in race mode.
+const raceEnabled = true

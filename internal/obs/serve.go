@@ -13,7 +13,8 @@ import (
 
 // HTTP surfacing of a Registry: Go-standard expvar under /debug/vars (the
 // registry is published there as "ruid"), the pprof profiler family under
-// /debug/pprof/, a plain-text dump under /metrics and a JSON snapshot under
+// /debug/pprof/, Prometheus text exposition under /metrics, the legacy
+// plain-text dump under /metrics.txt and a JSON snapshot under
 // /metrics.json. Serve is optional equipment — nothing in the engine
 // depends on it — so a serving process opts in with one call and a CLI run
 // never pays for an HTTP stack.
@@ -37,7 +38,8 @@ func publishExpvar(reg *Registry) {
 }
 
 // Handler returns the observability mux for reg: /debug/vars, /debug/pprof/,
-// /metrics (text) and /metrics.json.
+// /metrics (Prometheus exposition), /metrics.txt (legacy plain text) and
+// /metrics.json.
 func Handler(reg *Registry) http.Handler {
 	publishExpvar(reg)
 	mux := http.NewServeMux()
@@ -48,6 +50,10 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		reg.WriteText(w)
 	})

@@ -23,11 +23,27 @@ func TestHandlerEndpoints(t *testing.T) {
 	h := Handler(reg)
 
 	code, body := get(t, h, "/metrics")
-	if code != 200 || !strings.Contains(body, "exec.ops 3") {
+	if code != 200 || !strings.Contains(body, "ruid_exec_ops 3") {
 		t.Fatalf("/metrics: %d %q", code, body)
 	}
+	for _, want := range []string{
+		"# TYPE ruid_exec_ops counter",
+		"# TYPE ruid_exec_op_ns histogram",
+		`ruid_exec_op_ns_bucket{le="+Inf"} 1`,
+		"ruid_exec_op_ns_sum 1500",
+		"ruid_exec_op_ns_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, h, "/metrics.txt")
+	if code != 200 || !strings.Contains(body, "exec.ops 3") {
+		t.Fatalf("/metrics.txt: %d %q", code, body)
+	}
 	if !strings.Contains(body, "exec.op_ns count=1") {
-		t.Errorf("/metrics missing histogram: %q", body)
+		t.Errorf("/metrics.txt missing histogram: %q", body)
 	}
 
 	code, body = get(t, h, "/metrics.json")
@@ -101,7 +117,7 @@ func TestServe(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
-	if !strings.Contains(string(body), "doc.queries 1") {
+	if !strings.Contains(string(body), "ruid_doc_queries 1") {
 		t.Fatalf("served metrics: %q", body)
 	}
 }

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Admission control. The server bounds the queries it executes
@@ -74,12 +77,20 @@ func (a *admission) Acquire(ctx context.Context) error {
 		return ErrOverloaded
 	}
 	defer a.queued.Add(-1)
+	// The slow path is the queue-wait span of the request's trace: stamp
+	// entry and account the wait, so the flight recorder can show where an
+	// admitted-but-queued request's time went.
+	rc := obs.RequestFrom(ctx)
+	rc.Stamp("queued")
+	start := time.Now()
 	select {
 	case <-a.slots:
 		a.admitted.Add(1)
+		rc.AddQueueWait(time.Since(start))
 		return nil
 	case <-ctx.Done():
 		a.shed.Add(1)
+		rc.AddQueueWait(time.Since(start))
 		return ctx.Err()
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"repro/internal/budget"
+	"repro/internal/document"
 	"repro/internal/obs"
 )
 
@@ -19,12 +20,21 @@ import (
 //	GET    /v1/docs/{name}          → document stats
 //	DELETE /v1/docs/{name}          → drop from catalog
 //	POST   /v1/docs/{name}/query    body: QueryRequest  → QueryResponse
-//	POST   /v1/docs/{name}/insert   body: WriteRequest  → stats
-//	POST   /v1/docs/{name}/delete   body: WriteRequest  → stats
+//	POST   /v1/docs/{name}/insert   body: WriteRequest  → WriteResponse
+//	POST   /v1/docs/{name}/delete   body: WriteRequest  → WriteResponse
+//	GET    /v1/debug/requests       → flight-recorder ring (recent requests)
+//	GET    /v1/debug/slow           → slow-request log (full stage breakdowns)
 //	GET    /healthz                 → 200 ok (load-balancer probe)
 //
 // plus, when the server is observed, the obs endpoints (/metrics,
 // /metrics.json, /debug/vars, /debug/pprof/) on the same listener.
+//
+// Every /v1/docs handler runs behind the tracing middleware: a fresh
+// obs.RequestCtx rides the request's context end to end (admission, budget,
+// pager, and — for writes — across the group-commit pipeline), and its
+// summary lands in the flight recorder plus the per-endpoint and
+// per-document metric families when the request completes. Write bodies may
+// set waitVisible in JSON or pass ?wait=visible in the URL.
 //
 // Error mapping is part of the overload contract: 503 + Retry-After for
 // shed requests, 504 for queries that ran out of wall clock, 422 for
@@ -53,6 +63,53 @@ type DocInfo struct {
 	Names  int    `json:"names"`
 }
 
+// WriteResponse reports one executed write: the document's post-write
+// stats plus, for traced requests, the trace id and the write-pipeline
+// stage breakdown (enqueue→…→visible on the group-commit path). For a
+// durability-acked request (waitVisible false) the stages recorded so far
+// are returned — merge/publish stamps may still be in flight.
+type WriteResponse struct {
+	document.Stats
+	TraceID uint64           `json:"traceId,omitempty"`
+	Stages  []obs.StageStamp `json:"stages,omitempty"`
+}
+
+// statusWriter captures the handler's status code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument is the tracing middleware: it mints the request's RequestCtx
+// at ingress, threads it through the handler's context, and files the
+// completed summary into the flight recorder and metric families.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rc := obs.NewRequest(endpoint, r.PathValue("name"))
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(obs.WithRequest(r.Context(), rc)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.recordRequest(endpoint, rc, status)
+	}
+}
+
 // Handler returns the server's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -60,22 +117,35 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
 	})
-	mux.HandleFunc("GET /v1/docs", s.handleList)
-	mux.HandleFunc("PUT /v1/docs/{name}", s.handleOpen)
-	mux.HandleFunc("GET /v1/docs/{name}", s.handleStats)
-	mux.HandleFunc("DELETE /v1/docs/{name}", s.handleDrop)
-	mux.HandleFunc("POST /v1/docs/{name}/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/docs/{name}/insert", s.handleInsert)
-	mux.HandleFunc("POST /v1/docs/{name}/delete", s.handleDelete)
+	mux.HandleFunc("GET /v1/docs", s.instrument("list", s.handleList))
+	mux.HandleFunc("PUT /v1/docs/{name}", s.instrument("open", s.handleOpen))
+	mux.HandleFunc("GET /v1/docs/{name}", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("DELETE /v1/docs/{name}", s.instrument("drop", s.handleDrop))
+	mux.HandleFunc("POST /v1/docs/{name}/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("POST /v1/docs/{name}/insert", s.instrument("insert", s.handleInsert))
+	mux.HandleFunc("POST /v1/docs/{name}/delete", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /v1/debug/slow", s.handleDebugSlow)
 	if s.reg != nil {
 		// Mount the observability surface on the same listener; the obs
 		// handler owns everything under its prefixes.
 		oh := obs.Handler(s.reg)
-		for _, p := range []string{"/metrics", "/metrics.json", "/debug/"} {
+		for _, p := range []string{"/metrics", "/metrics.txt", "/metrics.json", "/debug/"} {
 			mux.Handle("GET "+p, oh)
 		}
 	}
 	return http.MaxBytesHandler(mux, s.cfg.MaxBodyBytes)
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"requests": s.flight.Requests()})
+}
+
+func (s *Server) handleDebugSlow(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"thresholdMs": s.flight.SlowThreshold().Milliseconds(),
+		"requests":    s.flight.Slow(),
+	})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -96,12 +166,12 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	src, err := io.ReadAll(r.Body)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	d, err := s.Open(name, string(src))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	st := d.Stats()
@@ -111,7 +181,7 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	d, err := s.catalog.Get(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, d.Stats())
@@ -119,7 +189,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	if err := s.catalog.Drop(r.PathValue("name")); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -128,16 +198,16 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, badRequest("bad query body: "+err.Error()))
+		writeErr(w, r, badRequest("bad query body: "+err.Error()))
 		return
 	}
 	if req.Query == "" {
-		writeErr(w, badRequest("empty query"))
+		writeErr(w, r, badRequest("empty query"))
 		return
 	}
 	resp, err := s.Query(r.Context(), r.PathValue("name"), req)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -146,29 +216,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var req WriteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, badRequest("bad insert body: "+err.Error()))
+		writeErr(w, r, badRequest("bad insert body: "+err.Error()))
 		return
+	}
+	if r.URL.Query().Get("wait") == "visible" {
+		req.WaitVisible = true
 	}
 	st, err := s.InsertReq(r.Context(), r.PathValue("name"), req)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, writeResponse(r, st))
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	var req WriteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, badRequest("bad delete body: "+err.Error()))
+		writeErr(w, r, badRequest("bad delete body: "+err.Error()))
 		return
+	}
+	if r.URL.Query().Get("wait") == "visible" {
+		req.WaitVisible = true
 	}
 	st, err := s.DeleteReq(r.Context(), r.PathValue("name"), req)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, writeResponse(r, st))
+}
+
+// writeResponse assembles a write's response body: stats plus the trace's
+// stage breakdown when the request runs behind the tracing middleware.
+func writeResponse(r *http.Request, st document.Stats) WriteResponse {
+	rc := obs.RequestFrom(r.Context())
+	return WriteResponse{Stats: st, TraceID: rc.ID(), Stages: rc.Stages()}
 }
 
 type badRequest string
@@ -177,8 +260,10 @@ func (e badRequest) Error() string { return string(e) }
 
 // writeErr maps an error to its HTTP status. The mapping is the client's
 // contract for distinguishing "back off" (503), "ask for less" (422),
-// "took too long" (504) and plain mistakes (4xx).
-func writeErr(w http.ResponseWriter, err error) {
+// "took too long" (504) and plain mistakes (4xx). The error text is also
+// recorded on the request trace for the flight recorder.
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	obs.RequestFrom(r.Context()).SetError(err.Error())
 	var status int
 	switch {
 	case errors.Is(err, ErrOverloaded):

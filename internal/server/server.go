@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -63,6 +64,14 @@ type Config struct {
 	// Observe, when non-nil, receives the server's metrics (and is mounted
 	// at /metrics, /metrics.json and /debug on the same listener).
 	Observe *obs.Registry
+	// FlightRecords sizes the always-on flight recorder ring (completed
+	// request summaries, served at /v1/debug/requests); 0 selects
+	// obs.DefaultFlightRecords.
+	FlightRecords int
+	// SlowThreshold gates the slow-request log (/v1/debug/slow): requests
+	// at or over it keep their full stage breakdown in a separate ring.
+	// 0 selects obs.DefaultSlowThreshold.
+	SlowThreshold time.Duration
 	// DocumentOptions are the facade options for every document the server
 	// opens; the Observe registry above is attached automatically.
 	DocumentOptions document.Options
@@ -103,6 +112,10 @@ type Server struct {
 	reg     *obs.Registry
 	sm      *serverMetrics
 
+	// flight is the always-on request recorder: every completed HTTP
+	// request files a summary; slow ones keep their full stage breakdown.
+	flight *obs.FlightRecorder
+
 	// WAL replays performed by Opens (crash-recovery audit trail).
 	recMu      sync.Mutex
 	recoveries []RecoveryInfo
@@ -136,6 +149,7 @@ func New(cfg Config) *Server {
 		catalog: NewCatalog(),
 		adm:     newAdmission(cfg.MaxInflight, cfg.MaxQueue),
 		reg:     cfg.Observe,
+		flight:  obs.NewFlightRecorder(cfg.FlightRecords, cfg.SlowThreshold),
 	}
 	if r := cfg.Observe; r != nil {
 		s.sm = &serverMetrics{
@@ -157,6 +171,34 @@ func New(cfg Config) *Server {
 
 // Catalog exposes the server's document catalog (tests and embedders).
 func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// Flight exposes the server's flight recorder (tests and embedders; never
+// nil).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// recordRequest files a finished request into the flight recorder and the
+// per-endpoint/per-document metric families. The endpoint label set is the
+// fixed route vocabulary; the doc label is only minted for documents that
+// actually exist in the catalog, so random 404 probes cannot explode the
+// label cardinality.
+func (s *Server) recordRequest(endpoint string, rc *obs.RequestCtx, status int) {
+	rc.Finish(status)
+	s.flight.RecordRequest(rc)
+	if s.reg == nil {
+		return
+	}
+	s.reg.Counter(obs.MetricName("server.http_requests",
+		"endpoint", endpoint, "status", strconv.Itoa(status))).Inc()
+	s.reg.Histogram(obs.MetricName("server.http_ns", "endpoint", endpoint)).
+		Observe(rc.Duration().Nanoseconds())
+	if doc := rc.Doc(); doc != "" {
+		if _, err := s.catalog.Get(doc); err == nil {
+			s.reg.Counter(obs.MetricName("server.doc_requests", "doc", doc)).Inc()
+			s.reg.Histogram(obs.MetricName("server.doc_ns", "doc", doc)).
+				Observe(rc.Duration().Nanoseconds())
+		}
+	}
+}
 
 // QueryRequest is one query execution request. Budget fields at zero
 // inherit the server's defaults; set fields are capped by the server's
@@ -232,11 +274,23 @@ func (s *Server) Query(ctx context.Context, doc string, req QueryRequest) (*Quer
 	}
 	defer s.adm.Release()
 
+	rc := obs.RequestFrom(ctx)
+	rc.Stamp("admitted")
 	start := time.Now()
 	snap := d.Snapshot() // pin the epoch for the whole request
+	io0 := d.IOStats()
 	m := budget.NewMeter(ctx, lim)
 	nodes, plan, err := snap.QueryMetered(req.Query, nil, m)
 	elapsed := time.Since(start)
+	rc.Stamp("exec_done")
+	// Per-request pager attribution by cumulative delta — the same
+	// before/after approach the planner uses for per-stage io_reads/io_hits
+	// spans. Concurrent queries on the same document smear into each
+	// other's deltas; for a latency breakdown that is precise enough, and
+	// it costs two counter reads instead of per-pin plumbing.
+	io1 := d.IOStats()
+	rc.AddIO(io1.Reads-io0.Reads, io1.CacheHits-io0.CacheHits)
+	rc.SetBudget(m.Postings(), m.Results())
 	if s.sm != nil {
 		s.sm.queries.Inc()
 		s.sm.queryNS.Observe(elapsed.Nanoseconds())
@@ -377,7 +431,7 @@ func (s *Server) InsertReq(ctx context.Context, doc string, req WriteRequest) (d
 			if err != nil {
 				return nil, err
 			}
-			return d.EnqueueInsert(req.Parent, req.Pos, sub)
+			return d.EnqueueInsertCtx(ctx, req.Parent, req.Pos, sub)
 		}, req.WaitVisible)
 	}
 	return s.write(ctx, doc, func(d *document.Document) error {
@@ -405,7 +459,7 @@ func (s *Server) DeleteReq(ctx context.Context, doc string, req WriteRequest) (d
 	}
 	if d.GroupCommit() {
 		return s.enqueue(ctx, d, func() (*document.Ticket, error) {
-			return d.EnqueueDelete(req.Parent, req.Pos)
+			return d.EnqueueDeleteCtx(ctx, req.Parent, req.Pos)
 		}, req.WaitVisible)
 	}
 	return s.write(ctx, doc, func(d *document.Document) error {

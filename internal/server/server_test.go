@@ -121,10 +121,24 @@ func TestHTTPRoundtrip(t *testing.T) {
 		t.Fatalf("stats: %d", code)
 	}
 
-	// Observability is mounted on the same listener.
+	// Observability is mounted on the same listener: /metrics serves the
+	// Prometheus exposition, /metrics.txt the legacy flat text.
 	code, body = do("GET", "/metrics", "")
-	if code != 200 || !bytes.Contains(body, []byte("server.queries")) {
+	if code != 200 || !bytes.Contains(body, []byte("ruid_server_queries")) {
 		t.Fatalf("metrics: %d %s", code, body)
+	}
+	if !bytes.Contains(body, []byte(`ruid_server_http_requests{endpoint="query",status="200"}`)) {
+		t.Fatalf("metrics: missing per-endpoint status family: %s", body)
+	}
+	code, body = do("GET", "/metrics.txt", "")
+	if code != 200 || !bytes.Contains(body, []byte("server.queries")) {
+		t.Fatalf("metrics.txt: %d %s", code, body)
+	}
+
+	// The flight recorder saw the traffic above.
+	code, body = do("GET", "/v1/debug/requests", "")
+	if code != 200 || !bytes.Contains(body, []byte(`"kind":"query"`)) {
+		t.Fatalf("debug/requests: %d %s", code, body)
 	}
 
 	// Drop; the document is gone.
@@ -234,4 +248,108 @@ func TestOverloadSheds(t *testing.T) {
 		t.Fatal("503 without Retry-After")
 	}
 	s.adm.Release()
+
+	// The overload contract is visible in the metrics too, consistently:
+	// the shed counter moved, and the shed HTTP request landed in the
+	// per-endpoint status-code family.
+	snap := s.cfg.Observe.Snapshot()
+	if shed, _ := snap["server.shed"].(int64); shed < 2 {
+		t.Fatalf("server.shed = %v, want >= 2 (direct + HTTP shed)", snap["server.shed"])
+	}
+	if n, _ := snap[obs.MetricName("server.http_requests",
+		"endpoint", "query", "status", "503")].(uint64); n != 1 {
+		t.Fatalf("http_requests{query,503} = %v, want 1", n)
+	}
+}
+
+// TestInsertWaitVisibleStages is the tracing acceptance check: an
+// insert?wait=visible on a group-commit server returns all seven
+// write-pipeline stages with monotonically non-decreasing offsets, and the
+// same breakdown is queryable afterwards at /v1/debug/requests.
+func TestInsertWaitVisibleStages(t *testing.T) {
+	s := New(Config{
+		Observe:     obs.NewRegistry(),
+		GroupCommit: GroupCommitConfig{Enabled: true, WALDir: t.TempDir(), MaxDelay: time.Millisecond},
+	})
+	defer s.Close()
+	run, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	base := "http://" + run.Addr()
+
+	req, _ := http.NewRequest("PUT", base+"/v1/docs/d", strings.NewReader(xmarkSrc(2, 7)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/docs/d/insert?wait=visible", "application/json",
+		strings.NewReader(`{"parent":"/site","pos":0,"xml":"<traced><x/></traced>"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: %d %s", resp.StatusCode, body)
+	}
+	var wr WriteResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatalf("insert body: %v", err)
+	}
+	if wr.TraceID == 0 {
+		t.Fatal("insert response has no trace id")
+	}
+	checkStages := func(where string, stages []obs.StageStamp) {
+		want := []string{obs.StageEnqueue, obs.StageWALAppend, obs.StageFsyncDone,
+			obs.StageDequeue, obs.StageMerged, obs.StagePublished, obs.StageVisible}
+		got := map[string]bool{}
+		last := int64(-1)
+		for _, st := range stages {
+			got[st.Name] = true
+			if st.OffsetUS < last {
+				t.Fatalf("%s: stage %s offset %d < previous %d", where, st.Name, st.OffsetUS, last)
+			}
+			last = st.OffsetUS
+		}
+		for _, w := range want {
+			if !got[w] {
+				t.Fatalf("%s: missing stage %s in %v", where, w, stages)
+			}
+		}
+	}
+	checkStages("response", wr.Stages)
+
+	// The same trace is in the flight recorder.
+	resp, err = http.Get(base + "/v1/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var dump struct {
+		Requests []obs.RequestSummary `json:"requests"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("debug/requests: %v (%s)", err, body)
+	}
+	found := false
+	for _, r := range dump.Requests {
+		if r.ID == wr.TraceID {
+			found = true
+			if r.Kind != "insert" || r.Doc != "d" {
+				t.Fatalf("flight record = %+v", r)
+			}
+			checkStages("flight", r.Stages)
+		}
+	}
+	if !found {
+		t.Fatalf("trace %d not in flight recorder: %s", wr.TraceID, body)
+	}
 }
